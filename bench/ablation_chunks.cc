@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation: the chunk-count trade-off the autotuner navigates (§II-B,
+ * §III-E).
+ *
+ * More parallel chunks mean more TLP but also more speculation (more
+ * potential aborts) and more extra computation (one alternative
+ * producer + replica set per boundary).  This bench sweeps the chunk
+ * count for each benchmark at 28 cores and reports speedup and abort
+ * counts, exposing the curve whose maximum the autotuner picks — e.g.
+ * facetrack's cliff past 7 chunks (the paper: "STATS only creates 7
+ * parallel chunks to avoid mispeculation").
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "platform/des.h"
+
+using namespace repro;
+using repro::util::formatDouble;
+using repro::util::Table;
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = bench::BenchOptions::parse(argc, argv, 0.5);
+    const core::Engine engine;
+    const platform::Simulator sim(platform::MachineModel::haswell(28));
+    const unsigned chunk_options[] = {2, 7, 14, 28, 56};
+
+    Table table({"Benchmark", "C=2", "C=7", "C=14", "C=28", "C=56"});
+    for (const auto &w : workloads::makeAllWorkloads(opt.scale)) {
+        const auto &model = w->model();
+        const double t_seq =
+            sim.run(engine.runSequential(model, w->region(), opt.seed)
+                        .graph)
+                .makespan;
+        std::vector<std::string> row{w->name()};
+        for (const unsigned chunks : chunk_options) {
+            core::StatsConfig cfg = w->tunedConfig(28);
+            cfg.numChunks = chunks;
+            // Shrink the replay window if the chunk no longer fits it.
+            const std::size_t chunk_len =
+                std::max<std::size_t>(model.numInputs() / chunks, 2);
+            cfg.altWindowK = static_cast<unsigned>(
+                std::min<std::size_t>(cfg.altWindowK, chunk_len - 1));
+            if (!cfg.check(model.numInputs()).empty()) {
+                row.push_back("-");
+                continue;
+            }
+            const auto run = engine.runStats(model, w->region(),
+                                             w->tlpModel(), cfg,
+                                             opt.seed);
+            const double speedup =
+                t_seq / sim.run(run.graph).makespan;
+            row.push_back(formatDouble(speedup, 1) + "x/" +
+                          std::to_string(run.aborts) + "ab");
+        }
+        table.addRow(row);
+    }
+    bench::emit(table,
+                "Ablation: speedup and aborts vs chunk count "
+                "(28 cores; 'x.xx/Nab' = speedup / aborts)",
+                opt.csv);
+    return 0;
+}

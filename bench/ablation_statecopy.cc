@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Ablation: accelerating the state-copy operator (§V-C).
+ *
+ * The paper argues that a faster state copy is valuable even though
+ * copies are rarely on the critical path: configurations that would
+ * scale well are avoided by the autotuner because copying large states
+ * is costly.  This bench sweeps the machine's copy bandwidth (1x =
+ * Haswell memcpy, up to 32x = a hardware copy accelerator) and reports
+ * each benchmark's speedup plus the best configuration a fresh
+ * design-space search picks — showing where the accelerator changes
+ * the tuner's decision.
+ */
+
+#include <iostream>
+
+#include "autotuner/tuner.h"
+#include "bench/bench_common.h"
+#include "platform/des.h"
+
+using namespace repro;
+using repro::util::formatDouble;
+using repro::util::Table;
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = bench::BenchOptions::parse(argc, argv, 0.5);
+    const core::Engine engine;
+
+    Table table({"Benchmark", "copy x1", "copy x4", "copy x32",
+                 "tuner pick @x1", "tuner pick @x32"});
+    for (const auto &w : workloads::makeAllWorkloads(opt.scale)) {
+        const auto seq =
+            engine.runSequential(w->model(), w->region(), opt.seed);
+        const auto stats =
+            engine.runStats(w->model(), w->region(), w->tlpModel(),
+                            w->tunedConfig(28), opt.seed);
+
+        std::vector<std::string> row{w->name()};
+        std::string picks[2];
+        int pick_idx = 0;
+        for (const double factor : {1.0, 4.0, 32.0}) {
+            platform::MachineModel m = platform::MachineModel::haswell(28);
+            m.copyBytesPerCycle *= factor;
+            const platform::Simulator sim(m);
+            const double speedup = sim.run(seq.graph).makespan /
+                                   sim.run(stats.graph).makespan;
+            row.push_back(formatDouble(speedup, 2) + "x");
+
+            if (factor == 1.0 || factor == 32.0) {
+                const autotuner::Objective obj(*w, engine, m);
+                autotuner::Tuner::Options topt;
+                topt.budget = 40;
+                topt.profileSeed = opt.seed;
+                auto strategy = autotuner::makeHillClimb();
+                const auto result = autotuner::Tuner(topt).tune(
+                    obj, w->designSpace(28), *strategy);
+                picks[pick_idx++] = result.best.config.describe();
+            }
+        }
+        row.push_back(picks[0]);
+        row.push_back(picks[1]);
+        table.addRow(row);
+    }
+    bench::emit(table,
+                "Ablation: state-copy bandwidth (the paper's proposed "
+                "copy accelerator, §V-C)",
+                opt.csv);
+    return 0;
+}

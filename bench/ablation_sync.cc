@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation: the cost of synchronization primitives (§III-C, §VI).
+ *
+ * The paper counts kernel-level synchronization ("several hundreds of
+ * clock cycles" per operation) among the overheads that engineering
+ * effort could reduce — e.g. user-level wake-ups.  This bench sweeps
+ * the machine's per-operation synchronization cost and reports the
+ * resulting Par. STATS speedup at 28 cores, quantifying how much of
+ * each benchmark's gap that engineering effort would recover.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "platform/des.h"
+
+using namespace repro;
+using repro::util::formatDouble;
+using repro::util::Table;
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = bench::BenchOptions::parse(argc, argv, 0.5);
+    const core::Engine engine;
+    const double costs[] = {1800.0, 900.0, 300.0, 100.0, 0.0};
+
+    Table table({"Benchmark", "sync=1800cy", "sync=900cy (baseline)",
+                 "sync=300cy", "sync=100cy", "sync=0"});
+    for (const auto &w : workloads::makeAllWorkloads(opt.scale)) {
+        const auto seq =
+            engine.runSequential(w->model(), w->region(), opt.seed);
+        const auto stats =
+            engine.runStats(w->model(), w->region(), w->tlpModel(),
+                            w->tunedConfig(28), opt.seed);
+        std::vector<std::string> row{w->name()};
+        for (const double cost : costs) {
+            platform::MachineModel m = platform::MachineModel::haswell(28);
+            m.syncOpCycles = cost;
+            m.contextSwitchCycles = cost > 0.0
+                                        ? m.contextSwitchCycles
+                                        : 0.0;
+            const platform::Simulator sim(m);
+            row.push_back(
+                formatDouble(sim.run(seq.graph).makespan /
+                                 sim.run(stats.graph).makespan,
+                             2) +
+                "x");
+        }
+        table.addRow(row);
+    }
+    bench::emit(table,
+                "Ablation: kernel synchronization cost per operation "
+                "(Par. STATS, 28 cores)",
+                opt.csv);
+    return 0;
+}

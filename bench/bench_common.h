@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared plumbing for the per-table/per-figure bench harnesses.
+ *
+ * Every harness accepts:
+ *   --scale=<0..1>   input-size multiplier (default varies per bench)
+ *   --seed=<n>       master seed (default 42)
+ *   --csv            emit CSV instead of the aligned table
+ * plus bench-specific flags.  Each binary regenerates the rows/series
+ * of one table or figure of the paper and, where the paper gives
+ * absolute numbers, prints them alongside for shape comparison
+ * (EXPERIMENTS.md records the correspondence).
+ */
+
+#ifndef REPRO_BENCH_BENCH_COMMON_H
+#define REPRO_BENCH_BENCH_COMMON_H
+
+#include <iostream>
+#include <string>
+
+#include "util/cli.h"
+#include "util/table.h"
+#include "workloads/workload.h"
+
+namespace repro::bench {
+
+/** Common options parsed from the command line. */
+struct BenchOptions
+{
+    double scale = 0.5;
+    std::uint64_t seed = 42;
+    bool csv = false;
+
+    static BenchOptions
+    parse(int argc, char **argv, double default_scale)
+    {
+        const util::Cli cli(argc, argv);
+        BenchOptions opt;
+        opt.scale = cli.getDouble("scale", default_scale);
+        opt.seed = static_cast<std::uint64_t>(cli.getInt("seed", 42));
+        opt.csv = cli.getBool("csv", false);
+        return opt;
+    }
+};
+
+/** Prints @p table honoring --csv, preceded by a title line. */
+inline void
+emit(const util::Table &table, const std::string &title, bool csv)
+{
+    if (!csv)
+        std::cout << "== " << title << " ==\n";
+    if (csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace repro::bench
+
+#endif // REPRO_BENCH_BENCH_COMMON_H

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Regenerates Fig. 9: speedup over the sequential build for the three
+ * TLP sources — "Original" (pre-existing TLP), "Seq. STATS" (STATS TLP
+ * from the sequential version), "Par. STATS" (both combined) — at 14
+ * and 28 cores, with the per-source means the paper quotes in §V-A.
+ */
+
+#include <iostream>
+
+#include "analysis/speedup.h"
+#include "bench/bench_common.h"
+#include "bench/paper_reference.h"
+
+using namespace repro;
+using repro::util::formatDouble;
+using repro::util::Table;
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = bench::BenchOptions::parse(argc, argv, 1.0);
+    const core::Engine engine;
+    const analysis::SpeedupMeter meter(engine);
+
+    Table table({"Benchmark", "Original@14", "Original@28", "SeqSTATS@14",
+                 "SeqSTATS@28", "ParSTATS@14", "ParSTATS@28"});
+    double sums[6] = {0, 0, 0, 0, 0, 0};
+    unsigned count = 0;
+    for (const auto &w : workloads::makeAllWorkloads(opt.scale)) {
+        const auto s14 = meter.measure(*w, 14, opt.seed);
+        const auto s28 = meter.measure(*w, 28, opt.seed);
+        table.addRow({w->name(), formatDouble(s14.original, 2),
+                      formatDouble(s28.original, 2),
+                      formatDouble(s14.seqStats, 2),
+                      formatDouble(s28.seqStats, 2),
+                      formatDouble(s14.parStats, 2),
+                      formatDouble(s28.parStats, 2)});
+        sums[0] += s14.original;
+        sums[1] += s28.original;
+        sums[2] += s14.seqStats;
+        sums[3] += s28.seqStats;
+        sums[4] += s14.parStats;
+        sums[5] += s28.parStats;
+        ++count;
+    }
+    const double n = static_cast<double>(count);
+    table.addRow({"MEAN", formatDouble(sums[0] / n, 2),
+                  formatDouble(sums[1] / n, 2),
+                  formatDouble(sums[2] / n, 2),
+                  formatDouble(sums[3] / n, 2),
+                  formatDouble(sums[4] / n, 2),
+                  formatDouble(sums[5] / n, 2)});
+    table.addRow({"paper MEAN",
+                  formatDouble(bench::paper::kFig9OriginalMean14, 2),
+                  formatDouble(bench::paper::kFig9OriginalMean28, 2),
+                  formatDouble(bench::paper::kFig9SeqStatsMean14, 2),
+                  formatDouble(bench::paper::kFig9SeqStatsMean28, 2),
+                  formatDouble(bench::paper::kFig9ParStatsMean14, 2),
+                  formatDouble(bench::paper::kFig9ParStatsMean28, 2)});
+    bench::emit(table, "Fig. 9: speedup by TLP source", opt.csv);
+    return 0;
+}

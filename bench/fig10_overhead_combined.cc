@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Regenerates Fig. 10: percentage of speedup lost per overhead
+ * category when both original and STATS TLP are used, on 28 cores.
+ * The last column is the absolute speedup lost w.r.t. the ideal
+ * (the number at the right of each bar in the paper).
+ */
+
+#include <iostream>
+
+#include "analysis/overheads.h"
+#include "bench/bench_common.h"
+#include "platform/machine.h"
+
+using namespace repro;
+using analysis::OverheadCategory;
+using repro::util::formatDouble;
+using repro::util::formatPercent;
+using repro::util::Table;
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = bench::BenchOptions::parse(argc, argv, 1.0);
+    const core::Engine engine;
+    const analysis::OverheadAnalyzer analyzer(
+        engine, platform::MachineModel::haswell(28));
+
+    Table table({"Benchmark", "sync", "extra-comp", "imbalance",
+                 "seq-code", "mispec", "unreach", "achieved",
+                 "speedup lost"});
+    for (const auto &w : workloads::makeAllWorkloads(opt.scale)) {
+        const auto b =
+            analyzer.analyze(*w, w->tunedConfig(28), opt.seed);
+        auto cell = [&](OverheadCategory c) {
+            return formatPercent(
+                b.lostFraction[static_cast<std::size_t>(c)]);
+        };
+        table.addRow({w->name(),
+                      cell(OverheadCategory::Synchronization),
+                      cell(OverheadCategory::ExtraComputation),
+                      cell(OverheadCategory::Imbalance),
+                      cell(OverheadCategory::SequentialCode),
+                      cell(OverheadCategory::Mispeculation),
+                      cell(OverheadCategory::Unreachability),
+                      formatDouble(b.actualSpeedup, 2) + "x",
+                      formatDouble(b.totalLostSpeedup(), 1) + "x"});
+    }
+    bench::emit(table,
+                "Fig. 10: % of ideal speedup lost per overhead "
+                "(Par. STATS, 28 cores)",
+                opt.csv);
+    std::cout << "paper: facedet-and-track sync-limited; facetrack "
+                 "mispeculation-limited;\n"
+                 "       bodytrack evenly unreach/mispec/extra; "
+                 "streamclassifier sync+seq-code;\n"
+                 "       streamcluster seq-code+imbalance+sync; "
+                 "swaptions near-linear.\n";
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Regenerates Fig. 11: breakdown of the extra computation performed by
+ * the parallel binaries (share of extra-computation busy time per
+ * §III-B subcategory), Par. STATS on 28 cores.
+ */
+
+#include <iostream>
+
+#include "analysis/overheads.h"
+#include "bench/bench_common.h"
+#include "platform/machine.h"
+
+using namespace repro;
+using repro::util::formatPercent;
+using repro::util::Table;
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = bench::BenchOptions::parse(argc, argv, 1.0);
+    const core::Engine engine;
+    const analysis::OverheadAnalyzer analyzer(
+        engine, platform::MachineModel::haswell(28));
+
+    Table table({"Benchmark", "spec-state", "orig-states", "comparisons",
+                 "setup", "state-copy"});
+    for (const auto &w : workloads::makeAllWorkloads(opt.scale)) {
+        const auto e = analyzer.analyzeExtraComputation(
+            *w, w->tunedConfig(28), opt.seed);
+        table.addRow({w->name(), formatPercent(e.specStateTime),
+                      formatPercent(e.origStatesTime),
+                      formatPercent(e.comparisonsTime),
+                      formatPercent(e.setupTime),
+                      formatPercent(e.copyTime)});
+    }
+    bench::emit(table,
+                "Fig. 11: extra-computation time breakdown "
+                "(Par. STATS, 28 cores)",
+                opt.csv);
+    std::cout << "paper: the two main sources are generating the "
+                 "speculative state and the\n       multiple original "
+                 "states (§V-B).\n";
+    return 0;
+}

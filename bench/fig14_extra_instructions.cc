@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Regenerates Fig. 14: extra dynamic instructions executed by the
+ * STATS binaries on 28 cores relative to the original (pre-existing
+ * TLP) build.  Negative values mean the STATS build executes *fewer*
+ * instructions (the stream benchmarks converge faster when chunked,
+ * §V-C).
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "bench/paper_reference.h"
+#include "core/engine.h"
+
+using namespace repro;
+using repro::util::formatDouble;
+using repro::util::Table;
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = bench::BenchOptions::parse(argc, argv, 1.0);
+    const core::Engine engine;
+
+    Table table({"Benchmark", "extra instructions", "paper"});
+    for (const auto &w : workloads::makeAllWorkloads(opt.scale)) {
+        const auto base = engine.runOriginalTlp(
+            w->model(), w->region(), w->tlpModel(), 28, opt.seed);
+        const auto stats =
+            engine.runStats(w->model(), w->region(), w->tlpModel(),
+                            w->tunedConfig(28), opt.seed);
+        const double extra =
+            100.0 *
+            (static_cast<double>(stats.ops.total()) -
+             static_cast<double>(base.ops.total())) /
+            static_cast<double>(base.ops.total());
+        const auto *ref = bench::paper::fig14Row(w->name());
+        std::string paper = "-";
+        if (ref) {
+            paper = ref->extraPercent <= -900.0
+                        ? "negative"
+                        : formatDouble(ref->extraPercent, 1) + "%";
+        }
+        table.addRow(
+            {w->name(), formatDouble(extra, 1) + "%", paper});
+    }
+    bench::emit(table,
+                "Fig. 14: extra instructions of STATS binaries vs "
+                "original (28 cores)",
+                opt.csv);
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Regenerates Fig. 15: breakdown of the extra instructions the STATS
+ * execution model adds, by component (state copying, speculative-state
+ * generation, original-state generation, comparisons, setup,
+ * synchronization, re-execution), Par. STATS on 28 cores.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/engine.h"
+#include "trace/op_counter.h"
+
+using namespace repro;
+using repro::trace::TaskKind;
+using repro::util::formatPercent;
+using repro::util::Table;
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = bench::BenchOptions::parse(argc, argv, 1.0);
+    const core::Engine engine;
+
+    Table table({"Benchmark", "state-copy", "spec-state", "orig-states",
+                 "comparisons", "setup", "sync", "mispec-reexec"});
+    for (const auto &w : workloads::makeAllWorkloads(opt.scale)) {
+        const auto stats =
+            engine.runStats(w->model(), w->region(), w->tlpModel(),
+                            w->tunedConfig(28), opt.seed);
+        const auto &ops = stats.ops;
+        const double total =
+            static_cast<double>(ops.overheadTotal());
+        auto cell = [&](TaskKind k) {
+            const double share =
+                total > 0.0
+                    ? static_cast<double>(ops.count(k)) / total
+                    : 0.0;
+            return formatPercent(share);
+        };
+        table.addRow({w->name(), cell(TaskKind::StateCopy),
+                      cell(TaskKind::AltProducer),
+                      cell(TaskKind::OriginalStateGen),
+                      cell(TaskKind::StateCompare),
+                      cell(TaskKind::Setup), cell(TaskKind::Sync),
+                      cell(TaskKind::MispecReExec)});
+    }
+    bench::emit(table,
+                "Fig. 15: breakdown of STATS-added instructions "
+                "(28 cores)",
+                opt.csv);
+    std::cout << "paper: most extra instructions copy computational "
+                 "states and generate\n       speculative states "
+                 "(plus original states for bodytrack).\n";
+    return 0;
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * google-benchmark micro benchmarks for the substrate primitives:
+ * RNG throughput, particle-cloud steps, cache-simulator and
+ * branch-predictor throughput, discrete-event scheduling, and the
+ * state-copy cost model the paper singles out in §V-C.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/engine.h"
+#include "perfmodel/branch.h"
+#include "perfmodel/cache.h"
+#include "platform/des.h"
+#include "util/rng.h"
+#include "workloads/particle_filter.h"
+#include "workloads/swaptions.h"
+
+using namespace repro;
+
+namespace {
+
+void
+BM_RngUniform(benchmark::State &state)
+{
+    util::Rng rng(1);
+    double acc = 0.0;
+    for (auto _ : state)
+        acc += rng.uniform();
+    benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngUniform);
+
+void
+BM_RngGaussian(benchmark::State &state)
+{
+    util::Rng rng(1);
+    double acc = 0.0;
+    for (auto _ : state)
+        acc += rng.gaussian();
+    benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngGaussian);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    perfmodel::Cache cache({32 * 1024, 8, 64});
+    util::Rng rng(2);
+    std::uint64_t hits = 0;
+    for (auto _ : state)
+        hits += cache.access(rng.uniformInt(1 << 20) * 8) ? 1 : 0;
+    benchmark::DoNotOptimize(hits);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_GsharePredict(benchmark::State &state)
+{
+    perfmodel::GsharePredictor pred(14);
+    util::Rng rng(3);
+    std::uint64_t correct = 0;
+    std::uint64_t i = 0;
+    for (auto _ : state)
+        correct += pred.predictAndUpdate((i++ % 16) * 64, rng.bernoulli(0.9));
+    benchmark::DoNotOptimize(correct);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GsharePredict);
+
+void
+BM_ParticleResample(benchmark::State &state)
+{
+    workloads::ParticleCloud cloud(
+        static_cast<unsigned>(state.range(0)), 3);
+    cloud.spreadUniform(0.0, 100.0);
+    cloud.weigh([&](unsigned p) { return -cloud.coord(p, 0); });
+    util::Rng rng(4);
+    for (auto _ : state) {
+        cloud.resample(rng);
+        cloud.weigh([&](unsigned p) { return -cloud.coord(p, 0); });
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParticleResample)->Arg(250)->Arg(3000);
+
+void
+BM_DesSchedule(benchmark::State &state)
+{
+    // A STATS-shaped graph: chunk threads with alt producers and
+    // boundary synchronization.
+    trace::TaskGraph graph;
+    const unsigned chunks = static_cast<unsigned>(state.range(0));
+    for (unsigned c = 0; c < chunks; ++c) {
+        graph.addTask(trace::TaskKind::AltProducer, 1 + c, 500.0, c);
+        graph.addTask(trace::TaskKind::ChunkBody, 1 + c, 5000.0, c);
+        graph.addTask(trace::TaskKind::Sync, 1 + c, 0.0, c);
+    }
+    const platform::Simulator sim(platform::MachineModel::haswell(28));
+    for (auto _ : state) {
+        auto sched = sim.run(graph);
+        benchmark::DoNotOptimize(sched.makespan);
+    }
+    state.SetItemsProcessed(state.iterations() * graph.size());
+}
+BENCHMARK(BM_DesSchedule)->Arg(28)->Arg(280);
+
+void
+BM_StateCopyModel(benchmark::State &state)
+{
+    // §V-C motivates accelerating the state-copy operator: measure the
+    // modeled cost of copying a bodytrack-sized state intra-socket.
+    const platform::MachineModel m = platform::MachineModel::haswell(28);
+    const double bytes = static_cast<double>(state.range(0));
+    double acc = 0.0;
+    for (auto _ : state)
+        acc += bytes / m.copyBytesPerCycle;
+    benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_StateCopyModel)->Arg(24)->Arg(8000)->Arg(500000);
+
+void
+BM_SwaptionsUpdate(benchmark::State &state)
+{
+    const workloads::SwaptionsModel model(workloads::SwaptionsParams{});
+    auto s = model.initialState();
+    core::ExecContext ctx(util::Rng(5), nullptr,
+                          trace::TaskKind::ChunkBody);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            model.update(*s, i++ % model.numInputs(), ctx));
+    }
+}
+BENCHMARK(BM_SwaptionsUpdate);
+
+} // namespace
+
+BENCHMARK_MAIN();

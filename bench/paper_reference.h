@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The paper's published numbers, embedded for side-by-side printing.
+ *
+ * Source: Deiana & Campanoni, "Workload Characterization of
+ * Nondeterministic Programs Parallelized by STATS", ISPASS 2019 —
+ * Table I, Table II, Fig. 9 (means quoted in §V-A), and the Fig. 14
+ * values quoted in §V-C.
+ */
+
+#ifndef REPRO_BENCH_PAPER_REFERENCE_H
+#define REPRO_BENCH_PAPER_REFERENCE_H
+
+#include <cstddef>
+#include <string>
+
+namespace repro::bench::paper {
+
+/** Table I row. */
+struct Table1Row
+{
+    const char *benchmark;
+    unsigned threads;
+    unsigned states;
+    std::size_t stateBytes;
+};
+
+inline constexpr Table1Row kTable1[] = {
+    {"swaptions", 36, 36, 24},
+    {"streamclassifier", 28, 28, 104},
+    {"streamcluster", 280, 280, 104},
+    {"bodytrack", 74, 12, 500000},
+    {"facetrack", 14, 14, 8000},
+    {"facedet-and-track", 70, 70, 8000},
+};
+
+/** Fig. 9 means quoted in §V-A. */
+inline constexpr double kFig9OriginalMean14 = 3.70;
+inline constexpr double kFig9OriginalMean28 = 3.76;
+inline constexpr double kFig9SeqStatsMean14 = 8.45;
+inline constexpr double kFig9SeqStatsMean28 = 11.65;
+inline constexpr double kFig9ParStatsMean14 = 10.61;
+inline constexpr double kFig9ParStatsMean28 = 14.77;
+
+/** Fig. 14 percentages quoted in §V-C (positive = extra instructions;
+ *  negative entries are described qualitatively as "less instructions
+ *  than the baseline"). */
+struct Fig14Row
+{
+    const char *benchmark;
+    double extraPercent;  //!< NaN-like sentinel: -999 when only the
+                          //!< sign is given in the paper.
+};
+
+inline constexpr Fig14Row kFig14[] = {
+    {"swaptions", 0.0},          // Described as negligible.
+    {"streamclassifier", -999.0}, // "less instructions" (negative).
+    {"streamcluster", -999.0},    // "less instructions" (negative).
+    {"bodytrack", 107.4},
+    {"facetrack", 0.0},           // Small (not quoted).
+    {"facedet-and-track", 43.8},
+};
+
+/** Table II entry: count in billions plus miss/misprediction rate. */
+struct ArchEntry
+{
+    double countB;
+    double ratePercent;
+};
+
+/** Table II row: L1D, L2, LLC, BR for one build of one benchmark. */
+struct Table2Row
+{
+    const char *benchmark;
+    ArchEntry seq[4];      //!< Sequential build.
+    ArchEntry original[4]; //!< Original TLP on 28 cores.
+    ArchEntry stats[4];    //!< STATS TLP on 28 cores.
+};
+
+/**
+ * Table II as printed in the paper (some cells in the scanned table
+ * are ambiguous; values below follow the readable text).
+ */
+inline constexpr Table2Row kTable2[] = {
+    {"swaptions",
+     {{5.8, 1.6}, {0.3, 10.2}, {0.008, 7.3}, {2.5, 1.7}},
+     {{5.7, 1.6}, {0.4, 12.7}, {0.006, 19.9}, {2.1, 1.1}},
+     {{5.7, 1.6}, {0.4, 12.7}, {0.006, 19.9}, {2.1, 1.1}}},
+    {"streamcluster",
+     {{68, 32}, {5.5, 19.8}, {4.5, 28}, {12.29, 13.5}},
+     {{68, 32}, {5.5, 19.8}, {4.5, 28}, {12.29, 13.5}},
+     {{68, 32}, {5.5, 19.8}, {4.5, 28}, {12.29, 13.5}}},
+    {"streamclassifier",
+     {{351, 32}, {6.2, 97}, {5, 98}, {0.688, 25}},
+     {{392, 35}, {3.2, 97}, {27, 98}, {0.724, 26}},
+     {{385, 37}, {3.2, 97}, {27, 98}, {0.724, 26}}},
+    {"bodytrack",
+     {{7.3, 35}, {1.6, 25}, {0.005, 0.49}, {0.347, 0.64}},
+     {{8.4, 35}, {4.1, 95}, {0.032, 2.24}, {0.545, 0.78}},
+     {{6.4, 33}, {4.1, 95}, {0.032, 2.24}, {0.545, 0.78}}},
+    {"facetrack",
+     {{12.8, 13}, {2.3, 34}, {0.004, 0.58}, {0.010, 1.15}},
+     {{15.8, 13}, {2.7, 44}, {0.006, 0.38}, {0.013, 1.2}},
+     {{12.2, 13}, {2.7, 44}, {0.006, 0.38}, {0.013, 1.2}}},
+    {"facedet-and-track",
+     {{6.1, 15}, {3.3, 42}, {0.009, 1.9}, {1.5, 0.19}},
+     {{8.1, 15}, {3.3, 42}, {0.009, 1.9}, {1.5, 0.19}},
+     {{8.1, 15}, {3.3, 42}, {0.009, 1.9}, {1.5, 0.19}}},
+};
+
+/** Paper Table I numbers for @p benchmark, or nullptr. */
+inline const Table1Row *
+table1Row(const std::string &benchmark)
+{
+    for (const auto &row : kTable1) {
+        if (benchmark == row.benchmark)
+            return &row;
+    }
+    return nullptr;
+}
+
+/** Paper Fig. 14 number for @p benchmark, or nullptr. */
+inline const Fig14Row *
+fig14Row(const std::string &benchmark)
+{
+    for (const auto &row : kFig14) {
+        if (benchmark == row.benchmark)
+            return &row;
+    }
+    return nullptr;
+}
+
+} // namespace repro::bench::paper
+
+#endif // REPRO_BENCH_PAPER_REFERENCE_H

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Regenerates Table I: threads, computational states, and state size
+ * created by STATS for each benchmark at 28 cores.
+ *
+ * Run at --scale=1.0 (the default here) so the structural quantities
+ * correspond to the paper-shaped inputs.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "bench/paper_reference.h"
+#include "core/engine.h"
+
+using namespace repro;
+using repro::util::Table;
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = bench::BenchOptions::parse(argc, argv, 1.0);
+    const core::Engine engine;
+
+    Table table({"Benchmark", "#Threads", "#States", "State size",
+                 "paper #Threads", "paper #States", "paper size"});
+    for (const auto &w : workloads::makeAllWorkloads(opt.scale)) {
+        const auto cfg = w->tunedConfig(28);
+        const auto run = engine.runStats(w->model(), w->region(),
+                                         w->tlpModel(), cfg, opt.seed);
+        const auto *ref = bench::paper::table1Row(w->name());
+        table.addRow({w->name(), std::to_string(run.threadsCreated),
+                      std::to_string(run.statesCreated),
+                      util::formatBytes(run.stateSizeBytes),
+                      ref ? std::to_string(ref->threads) : "-",
+                      ref ? std::to_string(ref->states) : "-",
+                      ref ? util::formatBytes(ref->stateBytes) : "-"});
+    }
+    bench::emit(table,
+                "Table I: threads/states created by STATS (28 cores)",
+                opt.csv);
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Regenerates Table II: cache misses (L1D, L2, LLC) and branch
+ * mispredictions — absolute counts and rates — for the sequential
+ * build, the original TLP on 28 cores, and the STATS TLP on 28 cores,
+ * measured on the cache/branch simulators (DESIGN.md §2: the perf-
+ * counter substitute).
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "bench/paper_reference.h"
+#include "perfmodel/arch_sim.h"
+#include "util/cli.h"
+
+using namespace repro;
+using perfmodel::ArchCounts;
+using perfmodel::ArchSimConfig;
+using perfmodel::ExecMode;
+using repro::util::formatDouble;
+using repro::util::Table;
+
+namespace {
+
+std::string
+entry(std::uint64_t count, double rate)
+{
+    // Counts are printed in millions of simulated events; the paper
+    // reports billions from full-length native runs — rates are the
+    // comparable quantity.
+    return formatDouble(static_cast<double>(count) / 1e6, 1) + "M (" +
+           formatDouble(rate * 100.0, 1) + "%)";
+}
+
+std::string
+row(const ArchCounts &c)
+{
+    return entry(c.l1d.misses, c.l1d.missRate()) + "  " +
+           entry(c.l2.misses, c.l2.missRate()) + "  " +
+           entry(c.llc.misses, c.llc.missRate()) + "  " +
+           entry(c.branch.mispredictions, c.branch.missRate());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = bench::BenchOptions::parse(argc, argv, 1.0);
+
+    Table table(
+        {"Benchmark", "Build", "L1D / L2 / LLC / BR  (misses, rate)"});
+    for (const auto &w : workloads::makeAllWorkloads(opt.scale)) {
+        const auto profile = w->accessProfile();
+        const auto tuned = w->tunedConfig(28);
+
+        ArchSimConfig cfg;
+        cfg.cores = 28;
+        cfg.coresPerSocket = 14;
+        cfg.sampleInputs =
+            std::min<std::size_t>(w->model().numInputs(), 96);
+        cfg.totalInputs = w->model().numInputs();
+        cfg.tlpThreads = std::min(28u, w->tlpModel().maxThreads);
+        // The sampled window covers sampleInputs of totalInputs; scale
+        // the chunk count so chunk lengths stay representative.
+        cfg.statsChunks = std::max<unsigned>(
+            1, static_cast<unsigned>(
+                   static_cast<double>(tuned.numChunks) *
+                   static_cast<double>(cfg.sampleInputs) /
+                   static_cast<double>(cfg.totalInputs)));
+        cfg.statsReplicas = tuned.numOriginalStates;
+        cfg.statsAltWindow = tuned.altWindowK;
+
+        const ArchCounts seq = perfmodel::simulateArch(
+            profile, ExecMode::Sequential, cfg, opt.seed);
+        const ArchCounts orig = perfmodel::simulateArch(
+            profile, ExecMode::OriginalTlp, cfg, opt.seed);
+        const ArchCounts stats = perfmodel::simulateArch(
+            profile, ExecMode::StatsTlp, cfg, opt.seed);
+
+        table.addRow({w->name(), "sequential", row(seq)});
+        table.addRow({"", "original@28", row(orig)});
+        table.addRow({"", "stats@28", row(stats)});
+    }
+    bench::emit(table,
+                "Table II: cache and branch behaviour per build "
+                "(simulated hierarchy)",
+                opt.csv);
+    std::cout
+        << "paper: facetrack/facedet-and-track lose locality under "
+           "STATS; stream* shrink in\n       absolute counts (less "
+           "code executed); swaptions/bodytrack keep similar rates.\n";
+    return 0;
+}

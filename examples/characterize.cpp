@@ -1,0 +1,122 @@
+/**
+ * @file
+ * One-stop characterization of a single benchmark: everything the
+ * paper measures, for one workload, in one report — Table I structure,
+ * Fig. 9 speedups, the Fig. 10 overhead breakdown, extra instructions
+ * (Fig. 14), and output quality (Fig. 16).
+ *
+ * Usage: ./build/examples/characterize bodytrack [--scale=0.5]
+ *        ./build/examples/characterize facetrack --timeline
+ *        ./build/examples/characterize swaptions --trace=out.json
+ *        ./build/examples/characterize --list
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "analysis/critical_path.h"
+#include "analysis/overheads.h"
+#include "analysis/quality.h"
+#include "analysis/speedup.h"
+#include "core/engine.h"
+#include "platform/des.h"
+#include "platform/machine.h"
+#include "platform/trace_export.h"
+#include "util/cli.h"
+#include "workloads/workload.h"
+
+using namespace repro;
+
+int
+main(int argc, char **argv)
+{
+    const util::Cli cli(argc, argv);
+    if (cli.getBool("list", false)) {
+        for (const auto &name : workloads::workloadNames())
+            std::printf("%s\n", name.c_str());
+        return 0;
+    }
+    const std::string name = cli.positional().empty()
+                                 ? "bodytrack"
+                                 : cli.positional().front();
+    const double scale = cli.getDouble("scale", 0.5);
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(cli.getInt("seed", 42));
+
+    const auto w = workloads::makeWorkload(name, scale);
+    const core::Engine engine;
+    const auto cfg = w->tunedConfig(28);
+
+    std::printf("== %s (scale %.2f) ==\n", name.c_str(), scale);
+    std::printf("inputs %zu, state %zu bytes, tuned %s\n",
+                w->model().numInputs(), w->model().stateSizeBytes(),
+                cfg.describe().c_str());
+
+    // Structure (Table I).
+    const auto run = engine.runStats(w->model(), w->region(),
+                                     w->tlpModel(), cfg, seed);
+    std::printf("threads %u, states %u, commits %u, aborts %u\n",
+                run.threadsCreated, run.statesCreated, run.commits,
+                run.aborts);
+
+    // Post-mortem critical path (paper §V-B instrumentation) and the
+    // optional timeline views.
+    const platform::Simulator sim(platform::MachineModel::haswell(28));
+    const auto sched = sim.run(run.graph);
+    std::printf("%s",
+                analysis::criticalPathReport(sched, run.graph)
+                    .describe()
+                    .c_str());
+    if (cli.getBool("timeline", false)) {
+        std::printf("%s", platform::asciiTimeline(sched, run.graph, 100)
+                              .c_str());
+    }
+    const std::string trace_path = cli.getString("trace", "");
+    if (!trace_path.empty()) {
+        std::ofstream out(trace_path);
+        platform::writeChromeTrace(sched, run.graph, out);
+        std::printf("chrome trace written to %s\n", trace_path.c_str());
+    }
+
+    // Speedups (Fig. 9).
+    const analysis::SpeedupMeter meter(engine);
+    const auto s14 = meter.measure(*w, 14, seed);
+    const auto s28 = meter.measure(*w, 28, seed);
+    std::printf("speedup  original %.2f/%.2f  seq-stats %.2f/%.2f  "
+                "par-stats %.2f/%.2f  (14/28 cores)\n",
+                s14.original, s28.original, s14.seqStats, s28.seqStats,
+                s14.parStats, s28.parStats);
+
+    // Overheads (Fig. 10).
+    const analysis::OverheadAnalyzer analyzer(
+        engine, platform::MachineModel::haswell(28));
+    const auto b = analyzer.analyze(*w, cfg, seed);
+    std::printf("speedup lost to:");
+    for (std::size_t c = 0; c < analysis::kNumOverheadCategories; ++c) {
+        std::printf(" %s %.1f%%",
+                    analysis::overheadCategoryName(
+                        static_cast<analysis::OverheadCategory>(c)),
+                    100.0 * b.lostFraction[c]);
+    }
+    std::printf("\n");
+
+    // Extra instructions (Fig. 14).
+    const auto base = engine.runOriginalTlp(w->model(), w->region(),
+                                            w->tlpModel(), 28, seed);
+    std::printf("extra instructions vs original: %+.1f%%\n",
+                100.0 *
+                    (static_cast<double>(run.ops.total()) -
+                     static_cast<double>(base.ops.total())) /
+                    static_cast<double>(base.ops.total()));
+
+    // Output quality (Fig. 16), 24 quick runs.
+    const auto orig = analysis::measureQuality(
+        *w, engine, analysis::QualityMode::Original, 24, 28, seed);
+    const auto stats = analysis::measureQuality(
+        *w, engine, analysis::QualityMode::Stats, 24, 28, seed);
+    std::printf("output quality (median, lower=better): original %.4f, "
+                "stats %.4f\n",
+                orig.median, stats.median);
+    return 0;
+}

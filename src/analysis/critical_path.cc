@@ -1,0 +1,85 @@
+#include "analysis/critical_path.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/log.h"
+#include "util/table.h"
+
+namespace repro::analysis {
+
+double
+CriticalPathReport::overheadShare() const
+{
+    if (busyCycles <= 0.0)
+        return 0.0;
+    double overhead = 0.0;
+    for (std::size_t k = 0; k < trace::kNumTaskKinds; ++k) {
+        if (trace::isOverheadKind(static_cast<trace::TaskKind>(k)))
+            overhead += cyclesByKind[k];
+    }
+    return overhead / busyCycles;
+}
+
+std::string
+CriticalPathReport::describe() const
+{
+    std::ostringstream os;
+    os << "critical path: " << steps.size() << " steps, busy "
+       << util::formatDouble(busyCycles, 0) << " cycles, core-wait "
+       << util::formatDouble(waitCycles, 0) << " cycles, makespan "
+       << util::formatDouble(makespan, 0) << " cycles\n";
+
+    // Kinds sorted by contribution.
+    std::vector<std::size_t> kinds(trace::kNumTaskKinds);
+    for (std::size_t k = 0; k < kinds.size(); ++k)
+        kinds[k] = k;
+    std::sort(kinds.begin(), kinds.end(), [&](std::size_t a, std::size_t b) {
+        return cyclesByKind[a] > cyclesByKind[b];
+    });
+    for (std::size_t k : kinds) {
+        if (cyclesByKind[k] <= 0.0)
+            continue;
+        os << "  " << trace::taskKindName(static_cast<trace::TaskKind>(k))
+           << ": " << util::formatDouble(cyclesByKind[k], 0) << " cycles ("
+           << util::formatPercent(cyclesByKind[k] /
+                                  std::max(busyCycles, 1.0))
+           << ")\n";
+    }
+    return os.str();
+}
+
+CriticalPathReport
+criticalPathReport(const platform::Schedule &schedule,
+                   const trace::TaskGraph &graph)
+{
+    REPRO_ASSERT(schedule.tasks.size() == graph.size(),
+                 "schedule does not belong to this graph");
+    CriticalPathReport report;
+    report.makespan = schedule.makespan;
+    if (graph.empty())
+        return report;
+
+    for (trace::TaskId id : schedule.criticalPath()) {
+        const auto &task = graph.task(id);
+        const auto &ts = schedule.tasks[id];
+        CriticalStep step;
+        step.task = id;
+        step.kind = task.kind;
+        step.thread = task.thread;
+        step.chunk = task.chunk;
+        step.start = ts.start;
+        step.finish = ts.finish;
+        step.coreWait =
+            ts.startedByCoreWait ? ts.start - ts.ready : 0.0;
+        report.steps.push_back(step);
+
+        const double busy = ts.finish - ts.start;
+        report.cyclesByKind[static_cast<std::size_t>(task.kind)] += busy;
+        report.busyCycles += busy;
+        report.waitCycles += step.coreWait;
+    }
+    return report;
+}
+
+} // namespace repro::analysis

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Post-mortem critical-path instrumentation (paper §V-B).
+ *
+ * The paper timestamps every critical point of the STATS execution
+ * model (chunk starts, alternative producers, original-state blocks,
+ * setup, synchronization, state clones, region bounds) and computes
+ * the critical path of the parallel execution post mortem, following
+ * [26].  This module provides that view directly from a simulated
+ * schedule: the chain of tasks whose starts/finishes determined the
+ * makespan, broken down by overhead category, plus per-task wait
+ * (blocked) time.
+ */
+
+#ifndef REPRO_ANALYSIS_CRITICAL_PATH_H
+#define REPRO_ANALYSIS_CRITICAL_PATH_H
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "platform/schedule.h"
+#include "trace/task_graph.h"
+
+namespace repro::analysis {
+
+/** One step of the critical path, for reports. */
+struct CriticalStep
+{
+    trace::TaskId task = 0;
+    trace::TaskKind kind = trace::TaskKind::ChunkBody;
+    trace::ThreadId thread = 0;
+    std::int32_t chunk = trace::kNoChunk;
+    double start = 0.0;
+    double finish = 0.0;
+    /** Cycles the task waited for a core after its inputs were ready
+     *  (scheduling/occupancy wait on this step). */
+    double coreWait = 0.0;
+};
+
+/** Critical path of one schedule, with per-category accounting. */
+struct CriticalPathReport
+{
+    std::vector<CriticalStep> steps; //!< Earliest first.
+
+    /** Busy cycles on the path per task kind. */
+    std::array<double, trace::kNumTaskKinds> cyclesByKind{};
+
+    /** Total busy cycles on the path. */
+    double busyCycles = 0.0;
+
+    /** Total core-occupancy wait cycles along the path. */
+    double waitCycles = 0.0;
+
+    /** The schedule's makespan (busy + wait + idle gaps). */
+    double makespan = 0.0;
+
+    /** Fraction of path busy time in overhead kinds (everything except
+     *  ChunkBody and SeqCode). */
+    double overheadShare() const;
+
+    /** Multi-line human-readable rendering (top contributors first). */
+    std::string describe() const;
+};
+
+/**
+ * Extracts the critical path of @p schedule over @p graph.
+ */
+CriticalPathReport
+criticalPathReport(const platform::Schedule &schedule,
+                   const trace::TaskGraph &graph);
+
+} // namespace repro::analysis
+
+#endif // REPRO_ANALYSIS_CRITICAL_PATH_H

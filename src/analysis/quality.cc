@@ -1,0 +1,49 @@
+#include "analysis/quality.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/log.h"
+#include "util/statistics.h"
+
+namespace repro::analysis {
+
+void
+QualityDistribution::summarize()
+{
+    REPRO_ASSERT(!samples.empty(), "empty quality distribution");
+    min = *std::min_element(samples.begin(), samples.end());
+    max = *std::max_element(samples.begin(), samples.end());
+    p25 = util::percentile(samples, 25.0);
+    median = util::percentile(samples, 50.0);
+    p75 = util::percentile(samples, 75.0);
+    mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+           static_cast<double>(samples.size());
+}
+
+QualityDistribution
+measureQuality(const workloads::Workload &workload,
+               const core::Engine &engine, QualityMode mode, unsigned runs,
+               unsigned cores, std::uint64_t base_seed)
+{
+    REPRO_ASSERT(runs > 0, "need at least one run");
+    const auto &model = workload.model();
+    const auto region = workload.region();
+    const auto tlp = workload.tlpModel();
+    const auto config = workload.tunedConfig(cores);
+
+    QualityDistribution dist;
+    dist.samples.reserve(runs);
+    for (unsigned run = 0; run < runs; ++run) {
+        const std::uint64_t seed = base_seed + run;
+        const core::RunResult result =
+            mode == QualityMode::Original
+                ? engine.runSequential(model, region, seed)
+                : engine.runStats(model, region, tlp, config, seed);
+        dist.samples.push_back(workload.quality(result.outputs));
+    }
+    dist.summarize();
+    return dist;
+}
+
+} // namespace repro::analysis

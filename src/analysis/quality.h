@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Output-variability analysis (Fig. 16).
+ *
+ * The paper runs each original program two hundred times, compares every
+ * output against an oracle, and contrasts the resulting quality
+ * distribution with the STATS binary's.  Here a "run" is one logical
+ * execution with a distinct seed (the seed is the program's source of
+ * nondeterminism), and quality is the workload's distance-to-oracle
+ * metric (lower is better).
+ */
+
+#ifndef REPRO_ANALYSIS_QUALITY_H
+#define REPRO_ANALYSIS_QUALITY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "workloads/workload.h"
+
+namespace repro::analysis {
+
+/** Execution flavor whose output distribution is sampled. */
+enum class QualityMode
+{
+    Original, //!< The original (sequential-semantics) program.
+    Stats     //!< The STATS binary with the tuned configuration.
+};
+
+/** Distribution of per-run output qualities. */
+struct QualityDistribution
+{
+    std::vector<double> samples; //!< One quality value per run.
+    double min = 0.0;
+    double p25 = 0.0;
+    double median = 0.0;
+    double p75 = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+
+    /** Fills the summary fields from samples. */
+    void summarize();
+};
+
+/**
+ * Samples the output-quality distribution of @p workload.
+ *
+ * @param engine Engine executing the runs.
+ * @param mode Original vs. STATS binary.
+ * @param runs Number of runs (paper: 200).
+ * @param cores Core count whose tuned configuration is used (Stats
+ *        mode only).
+ * @param base_seed Seed of run i is base_seed + i.
+ */
+QualityDistribution
+measureQuality(const workloads::Workload &workload,
+               const core::Engine &engine, QualityMode mode, unsigned runs,
+               unsigned cores, std::uint64_t base_seed);
+
+} // namespace repro::analysis
+
+#endif // REPRO_ANALYSIS_QUALITY_H

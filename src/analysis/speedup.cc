@@ -1,0 +1,64 @@
+#include "analysis/speedup.h"
+
+#include <algorithm>
+
+#include "platform/des.h"
+#include "util/log.h"
+
+namespace repro::analysis {
+
+using platform::MachineModel;
+using platform::Simulator;
+
+SpeedupSample
+SpeedupMeter::measure(const workloads::Workload &workload, unsigned cores,
+                      std::uint64_t seed) const
+{
+    const auto &model = workload.model();
+    const auto region = workload.region();
+    const auto tlp = workload.tlpModel();
+    const Simulator sim(MachineModel::haswell(cores));
+
+    const double t_seq =
+        sim.run(engine_.runSequential(model, region, seed).graph)
+            .makespan;
+    REPRO_ASSERT(t_seq > 0.0, "sequential run has zero makespan");
+
+    SpeedupSample out;
+    out.original =
+        t_seq /
+        sim.run(engine_.runOriginalTlp(model, region, tlp, cores, seed)
+                    .graph)
+            .makespan;
+
+    core::StatsConfig tuned = workload.tunedConfig(cores);
+    core::StatsConfig seq_cfg = tuned;
+    seq_cfg.innerTlpThreads = 1;
+    out.seqStats =
+        t_seq /
+        sim.run(engine_.runStats(model, region, tlp, seq_cfg, seed).graph)
+            .makespan;
+    out.parStats =
+        t_seq /
+        sim.run(engine_.runStats(model, region, tlp, tuned, seed).graph)
+            .makespan;
+    return out;
+}
+
+core::StatsConfig
+SpeedupMeter::statsOnlyConfig(const workloads::Workload &workload,
+                              unsigned cores)
+{
+    const std::size_t inputs = workload.model().numInputs();
+    core::StatsConfig cfg = workload.tunedConfig(cores);
+    cfg.innerTlpThreads = 1;
+    cfg.numChunks = static_cast<unsigned>(
+        std::min<std::size_t>(cores, inputs / 2));
+    const std::size_t chunk_len =
+        std::max<std::size_t>(inputs / cfg.numChunks, 2);
+    cfg.altWindowK = static_cast<unsigned>(std::max<std::size_t>(
+        std::min<std::size_t>(cfg.altWindowK, chunk_len - 1), 1));
+    return cfg;
+}
+
+} // namespace repro::analysis

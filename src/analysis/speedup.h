@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Speedup measurement across TLP sources (Fig. 9 and Fig. 12 inputs).
+ */
+
+#ifndef REPRO_ANALYSIS_SPEEDUP_H
+#define REPRO_ANALYSIS_SPEEDUP_H
+
+#include <cstdint>
+
+#include "core/engine.h"
+#include "platform/machine.h"
+#include "workloads/workload.h"
+
+namespace repro::analysis {
+
+/** Speedups of one benchmark on one core count (vs. its sequential
+ *  build on the same machine model). */
+struct SpeedupSample
+{
+    double original = 0.0; //!< Pre-existing TLP only ("Original").
+    double seqStats = 0.0; //!< STATS TLP only ("Seq. STATS").
+    double parStats = 0.0; //!< STATS + original TLP ("Par. STATS").
+};
+
+/**
+ * Measures Fig. 9-style speedups on the simulated platform.
+ */
+class SpeedupMeter
+{
+  public:
+    explicit SpeedupMeter(const core::Engine &engine) : engine_(engine) {}
+
+    /**
+     * All three bars of Fig. 9 for one benchmark at @p cores cores.
+     *
+     * "Original" runs the workload's pre-existing parallelization with
+     * @p cores workers; "Seq. STATS" runs the tuned STATS configuration
+     * with the inner TLP disabled; "Par. STATS" runs the tuned
+     * configuration as-is.
+     */
+    SpeedupSample measure(const workloads::Workload &workload,
+                          unsigned cores, std::uint64_t seed) const;
+
+    /**
+     * The Fig. 12 configuration: exactly @p cores STATS threads
+     * (parallel chunks), no original TLP (§V-B, "forcing it to create
+     * 14 and 28 STATS-threads").
+     */
+    static core::StatsConfig
+    statsOnlyConfig(const workloads::Workload &workload, unsigned cores);
+
+  private:
+    const core::Engine &engine_;
+};
+
+} // namespace repro::analysis
+
+#endif // REPRO_ANALYSIS_SPEEDUP_H

@@ -1,0 +1,124 @@
+#include "core/config.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace repro::core {
+
+std::string
+StatsConfig::describe() const
+{
+    std::string s = "C=" + std::to_string(numChunks) +
+                    ",k=" + std::to_string(altWindowK) +
+                    ",R=" + std::to_string(numOriginalStates) +
+                    ",t=" + std::to_string(innerTlpThreads);
+    if (!useStatsTlp)
+        s += ",stats=off";
+    return s;
+}
+
+std::string
+StatsConfig::check(std::size_t num_inputs) const
+{
+    if (numChunks == 0)
+        return "StatsConfig: numChunks must be >= 1";
+    if (numOriginalStates == 0)
+        return "StatsConfig: numOriginalStates must be >= 1";
+    if (innerTlpThreads == 0)
+        return "StatsConfig: innerTlpThreads must be >= 1";
+    if (num_inputs < numChunks)
+        return "StatsConfig: fewer inputs (" + std::to_string(num_inputs) +
+               ") than chunks (" + std::to_string(numChunks) + ")";
+    if (useStatsTlp && numChunks > 1) {
+        const std::size_t min_chunk = num_inputs / numChunks;
+        if (altWindowK >= min_chunk)
+            return "StatsConfig: alt window k=" +
+                   std::to_string(altWindowK) +
+                   " not smaller than chunk length " +
+                   std::to_string(min_chunk);
+        if (altWindowK == 0)
+            return "StatsConfig: altWindowK must be >= 1 when STATS TLP "
+                   "is on";
+    }
+    return "";
+}
+
+void
+StatsConfig::validate(std::size_t num_inputs) const
+{
+    const std::string problem = check(num_inputs);
+    if (!problem.empty())
+        util::fatal(problem);
+}
+
+std::size_t
+DesignSpace::size() const
+{
+    return chunkOptions.size() * windowOptions.size() *
+           origStateOptions.size() * innerTlpOptions.size();
+}
+
+StatsConfig
+DesignSpace::at(std::size_t index) const
+{
+    REPRO_ASSERT(index < size(), "design-space index out of range");
+    StatsConfig cfg;
+    cfg.innerTlpThreads = innerTlpOptions[index % innerTlpOptions.size()];
+    index /= innerTlpOptions.size();
+    cfg.numOriginalStates = origStateOptions[index % origStateOptions.size()];
+    index /= origStateOptions.size();
+    cfg.altWindowK = windowOptions[index % windowOptions.size()];
+    index /= windowOptions.size();
+    cfg.numChunks = chunkOptions[index];
+    return cfg;
+}
+
+std::size_t
+DesignSpace::indexOf(const StatsConfig &config) const
+{
+    auto find = [](const std::vector<unsigned> &options, unsigned value,
+                   std::size_t &out) {
+        const auto it = std::find(options.begin(), options.end(), value);
+        if (it == options.end())
+            return false;
+        out = static_cast<std::size_t>(it - options.begin());
+        return true;
+    };
+    std::size_t ci = 0, wi = 0, ri = 0, ti = 0;
+    if (!find(chunkOptions, config.numChunks, ci) ||
+        !find(windowOptions, config.altWindowK, wi) ||
+        !find(origStateOptions, config.numOriginalStates, ri) ||
+        !find(innerTlpOptions, config.innerTlpThreads, ti)) {
+        return size();
+    }
+    return ((ci * windowOptions.size() + wi) * origStateOptions.size() +
+            ri) *
+               innerTlpOptions.size() +
+           ti;
+}
+
+DesignSpace
+DesignSpace::standard(std::size_t num_inputs, unsigned max_cores)
+{
+    DesignSpace space;
+    for (unsigned c : {2u, 4u, 7u, 14u, 28u, 56u, 112u, 280u}) {
+        if (c <= max_cores * 10 && c * 2 <= num_inputs)
+            space.chunkOptions.push_back(c);
+    }
+    if (space.chunkOptions.empty())
+        space.chunkOptions.push_back(2);
+    const std::size_t min_chunk =
+        num_inputs / space.chunkOptions.back();
+    for (unsigned k : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+        if (k < std::max<std::size_t>(min_chunk, 2))
+            space.windowOptions.push_back(k);
+    }
+    if (space.windowOptions.empty())
+        space.windowOptions.push_back(1);
+    space.origStateOptions = {1, 2, 3, 4};
+    space.innerTlpOptions = {1, 2, 4, 8, 18};
+    return space;
+}
+
+} // namespace repro::core

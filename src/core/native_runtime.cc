@@ -1,0 +1,213 @@
+#include "core/native_runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/log.h"
+
+namespace repro::core {
+
+namespace {
+
+/** Per-chunk speculative products, filled by the parallel phase. */
+struct ChunkProducts
+{
+    StateHandle specState;  //!< Alt-producer output (c > 0).
+    StateHandle finalState; //!< End state of the speculative body.
+    StateHandle snapshot;   //!< State at end-K (c < C-1).
+    std::vector<double> outputs; //!< Dense, indexed from chunk begin.
+};
+
+/** Runs updates [from, to) on @p state with @p rng. */
+void
+runSpan(const IStateModel &model, State &state, std::size_t from,
+        std::size_t to, util::Rng &rng, double *outs)
+{
+    ExecContext ctx(rng, nullptr, trace::TaskKind::ChunkBody);
+    for (std::size_t i = from; i < to; ++i) {
+        const double out = model.update(state, i, ctx);
+        if (outs)
+            outs[i - from] = out;
+    }
+    rng = ctx.rng();
+}
+
+} // namespace
+
+NativeRuntime::NativeRuntime(unsigned max_threads)
+    : maxThreads(max_threads ? max_threads
+                             : std::max(1u,
+                                        std::thread::hardware_concurrency()))
+{
+}
+
+NativeRuntime::Result
+NativeRuntime::runSequential(const IStateModel &model,
+                             std::uint64_t seed) const
+{
+    const auto start = std::chrono::steady_clock::now();
+    Result result;
+    result.outputs.resize(model.numInputs());
+    StateHandle state = model.initialState();
+    util::Rng rng = util::Rng(seed).split(1);
+    runSpan(model, *state, 0, model.numInputs(), rng,
+            result.outputs.data());
+    result.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return result;
+}
+
+NativeRuntime::Result
+NativeRuntime::run(const IStateModel &model, const StatsConfig &config,
+                   std::uint64_t seed) const
+{
+    config.validate(model.numInputs());
+    if (!config.useStatsTlp)
+        util::fatal("NativeRuntime::run requires useStatsTlp");
+
+    const auto start = std::chrono::steady_clock::now();
+    const std::size_t n = model.numInputs();
+    const unsigned C = config.numChunks;
+    const unsigned K = config.altWindowK;
+    const unsigned R = config.numOriginalStates;
+    util::Rng base(seed);
+
+    std::vector<std::size_t> begin(C), end(C);
+    for (unsigned c = 0; c < C; ++c) {
+        begin[c] = n * c / C;
+        end[c] = n * (c + 1) / C;
+    }
+
+    Result result;
+    result.outputs.assign(n, 0.0);
+
+    if (C == 1) {
+        // Degenerate single chunk: the sequential program.
+        return runSequential(model, seed);
+    }
+
+    // ----- Parallel phase: speculative execution of every chunk -------
+    std::vector<ChunkProducts> chunks(C);
+    {
+        std::vector<std::thread> pool;
+        unsigned next = 0;
+        while (next < C) {
+            const unsigned batch =
+                std::min(maxThreads, C - next);
+            for (unsigned t = 0; t < batch; ++t) {
+                const unsigned c = next + t;
+                pool.emplace_back([&, c] {
+                    ChunkProducts &cp = chunks[c];
+                    StateHandle working;
+                    if (c == 0) {
+                        working = model.initialState();
+                    } else {
+                        // Alternative producer (same streams as the
+                        // engine: split(2000 + c)).
+                        working = model.coldState();
+                        util::Rng alt_rng = base.split(2000 + c);
+                        runSpan(model, *working, begin[c] - K, begin[c],
+                                alt_rng, nullptr);
+                        cp.specState = working->clone();
+                    }
+
+                    const bool needs_snapshot = c + 1 < C;
+                    const std::size_t snap =
+                        needs_snapshot ? std::max(begin[c], end[c] - K)
+                                       : end[c];
+                    util::Rng body_rng = base.split(1000 + c);
+                    cp.outputs.resize(end[c] - begin[c]);
+                    runSpan(model, *working, begin[c], snap, body_rng,
+                            cp.outputs.data());
+                    if (needs_snapshot) {
+                        cp.snapshot = working->clone();
+                        runSpan(model, *working, snap, end[c], body_rng,
+                                cp.outputs.data() + (snap - begin[c]));
+                    }
+                    cp.finalState = std::move(working);
+                });
+            }
+            for (auto &th : pool)
+                th.join();
+            pool.clear();
+            next += batch;
+        }
+    }
+
+    // ----- Commit protocol: in program order ---------------------------
+    // committed products of chunk c (speculative or re-executed).
+    const State *committed_final = chunks[0].finalState.get();
+    StateHandle committed_owned;
+    StateHandle committed_snapshot =
+        chunks[0].snapshot ? chunks[0].snapshot->clone() : nullptr;
+    std::copy(chunks[0].outputs.begin(), chunks[0].outputs.end(),
+              result.outputs.begin() + begin[0]);
+
+    for (unsigned c = 0; c + 1 < C; ++c) {
+        // Regenerate the extra original states from the committed
+        // snapshot, in parallel (streams: split(3000 + c*128 + rep)).
+        const std::size_t snap = std::max(begin[c], end[c] - K);
+        std::vector<StateHandle> replicas(R >= 1 ? R - 1 : 0);
+        {
+            std::vector<std::thread> pool;
+            for (unsigned rep = 0; rep + 1 < R; ++rep) {
+                pool.emplace_back([&, rep] {
+                    StateHandle replica = committed_snapshot->clone();
+                    util::Rng rng = base.split(3000 + c * 128 + rep);
+                    runSpan(model, *replica, snap, end[c], rng, nullptr);
+                    replicas[rep] = std::move(replica);
+                });
+            }
+            for (auto &th : pool)
+                th.join();
+        }
+
+        // Commit check of chunk c+1.
+        ChunkProducts &nxt = chunks[c + 1];
+        bool matched = model.matches(*nxt.specState, *committed_final);
+        for (unsigned rep = 0; !matched && rep + 1 < R; ++rep)
+            matched = model.matches(*nxt.specState, *replicas[rep]);
+
+        if (matched) {
+            ++result.commits;
+            std::copy(nxt.outputs.begin(), nxt.outputs.end(),
+                      result.outputs.begin() + begin[c + 1]);
+            committed_owned.reset();
+            committed_final = nxt.finalState.get();
+            committed_snapshot =
+                nxt.snapshot ? nxt.snapshot->clone() : nullptr;
+        } else {
+            // Abort: re-execute chunk c+1 from the committed final
+            // state (streams: split(5000 + c + 1)).
+            ++result.aborts;
+            StateHandle redo = committed_final->clone();
+            util::Rng redo_rng = base.split(5000 + c + 1);
+            const bool needs_snapshot = c + 2 < C;
+            const std::size_t redo_snap =
+                needs_snapshot ? std::max(begin[c + 1], end[c + 1] - K)
+                               : end[c + 1];
+            runSpan(model, *redo, begin[c + 1], redo_snap, redo_rng,
+                    result.outputs.data() + begin[c + 1]);
+            if (needs_snapshot) {
+                committed_snapshot = redo->clone();
+                runSpan(model, *redo, redo_snap, end[c + 1], redo_rng,
+                        result.outputs.data() + redo_snap);
+            } else {
+                committed_snapshot.reset();
+            }
+            committed_owned = std::move(redo);
+            committed_final = committed_owned.get();
+        }
+    }
+
+    result.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return result;
+}
+
+} // namespace repro::core

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Result of one logical STATS (or baseline) execution.
+ */
+
+#ifndef REPRO_CORE_RUN_RESULT_H
+#define REPRO_CORE_RUN_RESULT_H
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/op_counter.h"
+#include "trace/task_graph.h"
+
+namespace repro::core {
+
+/**
+ * Everything the engine learns from executing a workload once under a
+ * given execution model: the committed outputs (for quality metrics),
+ * per-category dynamic-operation counts (Figs. 14/15), the emitted task
+ * graph (simulated by the platform for timing), speculation statistics,
+ * and the resources the runtime created (Table I).
+ */
+struct RunResult
+{
+    trace::TaskGraph graph;     //!< Parallel structure for the simulator.
+    trace::OpCounter ops;       //!< Dynamic operations by category.
+    std::vector<double> outputs;//!< Committed output O_i per input.
+
+    unsigned commits = 0;       //!< Speculative chunks that committed.
+    unsigned aborts = 0;        //!< Speculative chunks that aborted.
+
+    unsigned threadsCreated = 0;//!< Threads the runtime created (Table I).
+    unsigned statesCreated = 0; //!< State buffers allocated (Table I).
+    std::size_t stateSizeBytes = 0; //!< Size of one state (Table I).
+
+    /** Useful (committed, non-overhead) work inside the STATS region. */
+    double bodyWork = 0.0;
+};
+
+} // namespace repro::core
+
+#endif // REPRO_CORE_RUN_RESULT_H

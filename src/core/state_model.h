@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The state-dependence description a workload hands to the STATS runtime.
+ *
+ * The real STATS system is a compiler: developers annotate state
+ * dependences with a language extension, and three compilers generate the
+ * parallel binary (paper §II-C).  The compiler is closed source, so this
+ * reproduction exposes the same information as a library interface: a
+ * workload describes its state dependence by implementing IStateModel,
+ * and the engine (engine.h) enforces the STATS execution model on it.
+ * The mapping is one-to-one: initialState() is the original producer's
+ * starting state, coldState() is the alternative producer's starting
+ * state, update() is the body of the state-dependence loop, and matches()
+ * is the runtime's acceptability check between a speculative state and an
+ * original state.
+ */
+
+#ifndef REPRO_CORE_STATE_MODEL_H
+#define REPRO_CORE_STATE_MODEL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/state.h"
+#include "trace/op_counter.h"
+#include "util/rng.h"
+
+namespace repro::core {
+
+/**
+ * Execution context handed to update(): the nondeterminism source and
+ * the operation accounting sink for the task currently executing.
+ */
+class ExecContext
+{
+  public:
+    /**
+     * @param rng Stream feeding the workload's nondeterminism.
+     * @param ops Global per-category op counter (may be null in tests).
+     * @param kind Category the current task's operations are charged to.
+     */
+    ExecContext(util::Rng rng, trace::OpCounter *ops, trace::TaskKind kind)
+        : rng_(rng), ops_(ops), kind_(kind)
+    {
+    }
+
+    /** Nondeterminism source for the running update. */
+    util::Rng &rng() { return rng_; }
+
+    /** Charges @p n dynamic operations to the current task. */
+    void
+    tick(std::uint64_t n)
+    {
+        if (ops_)
+            ops_->tick(kind_, n);
+        localWork_ += static_cast<double>(n);
+    }
+
+    /** Work accumulated in this context so far (task cost). */
+    double localWork() const { return localWork_; }
+
+    /** Resets the local accumulator (between tasks). */
+    void resetLocalWork() { localWork_ = 0.0; }
+
+    /** Category currently charged. */
+    trace::TaskKind kind() const { return kind_; }
+    /** Redirects subsequent ticks to @p kind. */
+    void setKind(trace::TaskKind kind) { kind_ = kind; }
+
+  private:
+    util::Rng rng_;
+    trace::OpCounter *ops_;
+    trace::TaskKind kind_;
+    double localWork_ = 0.0;
+};
+
+/**
+ * A state dependence exposed to the STATS runtime.
+ *
+ * Implementations must be deterministic given the ExecContext's RNG: two
+ * updates from equal states with identically seeded contexts produce
+ * equal results.  All nondeterminism must flow through ExecContext::rng().
+ */
+class IStateModel
+{
+  public:
+    virtual ~IStateModel() = default;
+
+    /** Name of the workload owning this dependence. */
+    virtual std::string name() const = 0;
+
+    /** Number of inputs the state-dependence loop processes. */
+    virtual std::size_t numInputs() const = 0;
+
+    /** The original program's starting state. */
+    virtual StateHandle initialState() const = 0;
+
+    /**
+     * The alternative producer's starting state (paper §II-B): the state
+     * an execution would start from with no history — e.g. bodytrack's
+     * uniformly distributed particle guesses.
+     */
+    virtual StateHandle coldState() const = 0;
+
+    /**
+     * Processes input @p input, advancing @p state in place.
+     *
+     * @param state State to update (S_{i-1} on entry, S_i on return).
+     * @param input Index of the input to process.
+     * @param ctx Nondeterminism + op accounting; implementations must
+     *        tick ctx once per modeled dynamic operation.
+     * @return The output sample O_i emitted for this input (fed to the
+     *         workload's quality metric).
+     */
+    virtual double update(State &state, std::size_t input,
+                          ExecContext &ctx) const = 0;
+
+    /**
+     * The runtime's commit check: is @p speculative acceptable given the
+     * legitimately produced @p original state?  Workloads implement the
+     * same tolerance they would use in the STATS interface (e.g.
+     * Euclidean distance under a bound).
+     */
+    virtual bool matches(const State &speculative,
+                         const State &original) const = 0;
+
+    /** Size in bytes of one computational state (Table I). */
+    virtual std::size_t stateSizeBytes() const = 0;
+
+    /** Dynamic operations one state comparison costs. */
+    virtual std::uint64_t
+    compareWork() const
+    {
+        return stateSizeBytes() / 8 + 16;
+    }
+
+    /** Dynamic operations one state copy costs. */
+    virtual std::uint64_t
+    copyWork() const
+    {
+        return stateSizeBytes() / 8 + 16;
+    }
+};
+
+} // namespace repro::core
+
+#endif // REPRO_CORE_STATE_MODEL_H

@@ -1,0 +1,263 @@
+#include "perfmodel/arch_sim.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace repro::perfmodel {
+
+const char *
+execModeName(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::Sequential:  return "sequential";
+      case ExecMode::OriginalTlp: return "original-tlp";
+      case ExecMode::StatsTlp:    return "stats-tlp";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Address-space spacing between logical contexts (no aliasing). */
+constexpr std::uint64_t kContextSpacing = 1ULL << 32;
+/** Offset of the streaming region within a context's space. */
+constexpr std::uint64_t kStreamOffset = 1ULL << 30;
+
+/**
+ * One logical instruction stream (a thread's view of the run): where its
+ * state lives, how much it accesses, and its private stream cursor.
+ */
+struct Context
+{
+    unsigned core = 0;
+    std::uint64_t stateBase = 0;      //!< Hot region base address.
+    std::uint64_t hotBytes = 0;       //!< State + scratch size.
+    std::uint64_t streamStart = 0;    //!< First streaming address.
+    std::uint64_t streamCursor = 0;   //!< Next streaming address.
+    std::uint64_t hotCursor = 0;      //!< Sequential hot-walk position.
+    std::uint64_t accessesLeft = 0;
+    std::uint64_t branchesLeft = 0;
+    std::uint64_t loopCounter = 0;    //!< Drives the loop-exit pattern.
+    util::Rng rng{0};
+};
+
+} // namespace
+
+ArchCounts
+simulateArch(const AccessProfile &profile, ExecMode mode,
+             const ArchSimConfig &config, std::uint64_t seed)
+{
+    REPRO_ASSERT(config.cores > 0, "arch sim needs cores");
+    REPRO_ASSERT(config.sampleInputs > 0, "arch sim needs inputs");
+    const std::uint64_t ds = std::max<std::uint64_t>(
+        config.accessDownsample, 1);
+
+    CacheHierarchy caches(config.cores, config.coresPerSocket);
+    // Two predictors per core: data-dependent (noisy) branches are
+    // tracked apart so they do not corrupt the pattern predictor's
+    // global history (real predictors isolate such branches far better
+    // than a plain gshare would).
+    std::vector<GsharePredictor> predictors;
+    std::vector<GsharePredictor> noisyPredictors;
+    predictors.reserve(config.cores);
+    noisyPredictors.reserve(config.cores);
+    for (unsigned c = 0; c < config.cores; ++c) {
+        predictors.emplace_back(14);
+        noisyPredictors.emplace_back(14);
+    }
+
+    util::Rng base(seed);
+    std::vector<Context> contexts;
+
+    const std::uint64_t acc_per_input = std::max<std::uint64_t>(
+        profile.accessesPerInput / ds, 1);
+    const std::uint64_t br_per_input = std::max<std::uint64_t>(
+        profile.branchesPerInput / ds, 1);
+    const std::uint64_t hot_bytes =
+        profile.stateBytes + profile.scratchBytes;
+
+    auto make_context = [&](std::size_t id, unsigned core,
+                            std::uint64_t inputs, double work_scale) {
+        Context ctx;
+        ctx.core = core;
+        ctx.stateBase = (id + 1) * kContextSpacing;
+        ctx.hotBytes = std::max<std::uint64_t>(hot_bytes, 64);
+        ctx.streamCursor = ctx.stateBase + kStreamOffset;
+        ctx.streamStart = ctx.streamCursor;
+        ctx.accessesLeft = static_cast<std::uint64_t>(
+            static_cast<double>(inputs * acc_per_input) * work_scale);
+        ctx.branchesLeft = static_cast<std::uint64_t>(
+            static_cast<double>(inputs * br_per_input) * work_scale);
+        ctx.rng = base.split(9000 + id);
+        return ctx;
+    };
+
+    // Walks a whole state image through a core's caches (a state copy:
+    // read the source image, write the destination image).
+    auto copy_state = [&](unsigned core, std::uint64_t src_base,
+                          std::uint64_t dst_base) {
+        const std::uint64_t lines =
+            std::max<std::uint64_t>(profile.stateBytes / 64, 1) / ds + 1;
+        for (std::uint64_t l = 0; l < lines; ++l) {
+            caches.access(core, src_base + l * 64 * ds);
+            caches.access(core, dst_base + l * 64 * ds);
+        }
+    };
+
+    switch (mode) {
+      case ExecMode::Sequential: {
+        contexts.push_back(make_context(0, 0, config.sampleInputs, 1.0));
+        break;
+      }
+      case ExecMode::OriginalTlp: {
+        // W workers share the single computational state; each executes
+        // a 1/W share of every input's work.
+        const unsigned w =
+            std::max(1u, std::min(config.tlpThreads, config.cores));
+        for (unsigned t = 0; t < w; ++t) {
+            Context ctx = make_context(t, t % config.cores,
+                                       config.sampleInputs,
+                                       1.0 / static_cast<double>(w));
+            ctx.stateBase = kContextSpacing; // Shared state region.
+            ctx.streamCursor = kContextSpacing + kStreamOffset +
+                               t * (kStreamOffset / (2 * w));
+            ctx.streamStart = ctx.streamCursor;
+            contexts.push_back(ctx);
+        }
+        break;
+      }
+      case ExecMode::StatsTlp: {
+        const unsigned chunks = std::max(1u, config.statsChunks);
+        const std::uint64_t inputs_per_chunk = std::max<std::uint64_t>(
+            config.sampleInputs / chunks, 1);
+        std::size_t id = 0;
+        unsigned core_rr = 0;
+        for (unsigned c = 0; c < chunks; ++c) {
+            const unsigned core = core_rr++ % config.cores;
+            // Chunk body with its private (copied) state.
+            Context body = make_context(
+                id, core, inputs_per_chunk, profile.statsWorkScale);
+            // Alternative-producer replay on the same thread.
+            body.accessesLeft +=
+                config.statsAltWindow * acc_per_input;
+            body.branchesLeft += config.statsAltWindow * br_per_input;
+            contexts.push_back(body);
+            // Boundary state copies: speculative state hand-off plus
+            // restart copy (charged to the chunk's core).
+            if (c > 0) {
+                copy_state(core, c * kContextSpacing,
+                           (id + 1) * kContextSpacing);
+            }
+            ++id;
+            // Replica re-runs regenerating extra original states.
+            for (unsigned rep = 1; rep < config.statsReplicas; ++rep) {
+                const unsigned rcore = core_rr++ % config.cores;
+                Context replica = make_context(
+                    id, rcore, config.statsAltWindow, 1.0);
+                copy_state(rcore, (id)*kContextSpacing,
+                           (id + 1) * kContextSpacing);
+                contexts.push_back(replica);
+                ++id;
+            }
+        }
+        break;
+      }
+    }
+
+    // Round-robin burst interleaving of every context.
+    bool work_left = true;
+    while (work_left) {
+        work_left = false;
+        for (Context &ctx : contexts) {
+            if (ctx.accessesLeft == 0 && ctx.branchesLeft == 0)
+                continue;
+            work_left = true;
+
+            const std::uint64_t accesses =
+                std::min(ctx.accessesLeft, config.burst);
+            for (std::uint64_t a = 0; a < accesses; ++a) {
+                std::uint64_t addr;
+                if (ctx.rng.uniform() < profile.hotFraction) {
+                    if (ctx.rng.uniform() <
+                        profile.hotSequentialFraction) {
+                        // Prefetch-friendly walk through the hot set.
+                        ctx.hotCursor =
+                            (ctx.hotCursor + 8) % ctx.hotBytes;
+                        addr = ctx.stateBase + ctx.hotCursor;
+                    } else {
+                        addr = ctx.stateBase +
+                               (ctx.rng.uniformInt(ctx.hotBytes / 8) *
+                                8);
+                    }
+                } else if (ctx.streamCursor > ctx.streamStart &&
+                           ctx.rng.uniform() < profile.streamReuse) {
+                    // Re-read recently streamed data (LLC-resident).
+                    const std::uint64_t recent = std::min<std::uint64_t>(
+                        ctx.streamCursor - ctx.streamStart, 2u << 20);
+                    addr = ctx.streamCursor - 8 * ds *
+                           (1 + ctx.rng.uniformInt(
+                                    std::max<std::uint64_t>(
+                                        recent / (8 * ds), 1)));
+                } else {
+                    addr = ctx.streamCursor;
+                    ctx.streamCursor += 8 * ds;
+                }
+                caches.access(ctx.core, addr);
+            }
+            ctx.accessesLeft -= accesses;
+
+            // Branches proportional to the burst.
+            const std::uint64_t branches = std::min(
+                ctx.branchesLeft,
+                std::max<std::uint64_t>(
+                    config.burst * br_per_input / acc_per_input, 1));
+            for (std::uint64_t b = 0; b < branches; ++b) {
+                const bool noisy =
+                    ctx.rng.uniform() < profile.noisyBranchFraction;
+                if (noisy) {
+                    noisyPredictors[ctx.core].predictAndUpdate(
+                        4096 + (b % 8) * 64, ctx.rng.bernoulli(0.5));
+                } else {
+                    ++ctx.loopCounter;
+                    predictors[ctx.core].predictAndUpdate(
+                        (b % 16) * 64,
+                        ctx.loopCounter % profile.loopPeriod != 0);
+                }
+            }
+            ctx.branchesLeft -= branches;
+        }
+    }
+
+    // Scale raw counters to the full run.
+    ArchCounts out;
+    const auto totals = caches.totals();
+    const double scale =
+        static_cast<double>(ds) *
+        (static_cast<double>(config.totalInputs) /
+         static_cast<double>(config.sampleInputs));
+    auto scale_cache = [&](CacheStats raw) {
+        raw.accesses = static_cast<std::uint64_t>(
+            static_cast<double>(raw.accesses) * scale);
+        raw.misses = static_cast<std::uint64_t>(
+            static_cast<double>(raw.misses) * scale);
+        return raw;
+    };
+    out.l1d = scale_cache(totals.l1d);
+    out.l2 = scale_cache(totals.l2);
+    out.llc = scale_cache(totals.llc);
+    for (const auto &p : predictors)
+        out.branch.merge(p.stats());
+    for (const auto &p : noisyPredictors)
+        out.branch.merge(p.stats());
+    out.branch.branches = static_cast<std::uint64_t>(
+        static_cast<double>(out.branch.branches) * scale);
+    out.branch.mispredictions = static_cast<std::uint64_t>(
+        static_cast<double>(out.branch.mispredictions) * scale);
+    out.scale = scale;
+    return out;
+}
+
+} // namespace repro::perfmodel

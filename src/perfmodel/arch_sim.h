@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Architecture-effects simulation (Table II).
+ *
+ * Replays a workload's synthetic access/branch stream through the cache
+ * hierarchy and branch predictors under the three execution modes the
+ * paper compares.  The STATS mode adds what §V-D attributes locality
+ * loss to: chunk-private state copies (distinct address regions),
+ * multiple logical threads time-sharing a core, alternative-producer and
+ * replica re-execution traffic, and state-copy transfers at boundaries.
+ */
+
+#ifndef REPRO_PERFMODEL_ARCH_SIM_H
+#define REPRO_PERFMODEL_ARCH_SIM_H
+
+#include <cstdint>
+
+#include "perfmodel/access_profile.h"
+#include "perfmodel/branch.h"
+#include "perfmodel/cache.h"
+
+namespace repro::perfmodel {
+
+/** Execution mode whose architecture effects are simulated. */
+enum class ExecMode
+{
+    Sequential,  //!< One thread, one core.
+    OriginalTlp, //!< Original TLP: workers share one state.
+    StatsTlp     //!< STATS chunks with private states + spec traffic.
+};
+
+/** Name of an ExecMode ("sequential", ...). */
+const char *execModeName(ExecMode mode);
+
+/** Parameters of one architecture simulation. */
+struct ArchSimConfig
+{
+    unsigned cores = 28;
+    unsigned coresPerSocket = 14;
+
+    /** Inputs actually replayed (counts are scaled to totalInputs). */
+    std::size_t sampleInputs = 96;
+
+    /** Total inputs of the full run (for count scaling). */
+    std::size_t totalInputs = 96;
+
+    /** Only 1 in accessDownsample accesses/branches is replayed. */
+    std::uint64_t accessDownsample = 8;
+
+    /** Original-TLP worker count (OriginalTlp mode). */
+    unsigned tlpThreads = 28;
+
+    /** STATS shape (StatsTlp mode). */
+    unsigned statsChunks = 28;
+    unsigned statsReplicas = 1;   //!< Original states per boundary.
+    unsigned statsAltWindow = 4;  //!< Inputs replayed by alt producers.
+
+    /** Accesses processed per context before rotating (models the
+     *  interleaving of co-scheduled threads on a core). */
+    std::uint64_t burst = 256;
+};
+
+/** Scaled per-level counters of one simulated run. */
+struct ArchCounts
+{
+    CacheStats l1d, l2, llc;
+    BranchStats branch;
+
+    /** Multiplier already applied to raw counts (downsample x input
+     *  scaling). */
+    double scale = 1.0;
+};
+
+/**
+ * Simulates @p mode for @p profile.
+ *
+ * @param seed Seed for the synthetic stream (nondeterministic branches
+ *        and hot-set addressing).
+ * @return Scaled counts (counts approximate the full run).
+ */
+ArchCounts simulateArch(const AccessProfile &profile, ExecMode mode,
+                        const ArchSimConfig &config, std::uint64_t seed);
+
+} // namespace repro::perfmodel
+
+#endif // REPRO_PERFMODEL_ARCH_SIM_H

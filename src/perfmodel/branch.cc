@@ -1,0 +1,45 @@
+#include "perfmodel/branch.h"
+
+#include "util/log.h"
+
+namespace repro::perfmodel {
+
+GsharePredictor::GsharePredictor(unsigned table_bits)
+    : tableBits(table_bits)
+{
+    REPRO_ASSERT(table_bits >= 4 && table_bits <= 24,
+                 "gshare table bits out of range");
+    table.assign(std::size_t{1} << tableBits, 1); // Weakly not-taken.
+}
+
+bool
+GsharePredictor::predictAndUpdate(std::uint64_t pc, bool taken)
+{
+    const std::uint64_t mask = (std::uint64_t{1} << tableBits) - 1;
+    const std::size_t index =
+        static_cast<std::size_t>((pc ^ history) & mask);
+    std::uint8_t &counter = table[index];
+    const bool prediction = counter >= 2;
+
+    ++stats_.branches;
+    if (prediction != taken)
+        ++stats_.mispredictions;
+
+    if (taken && counter < 3)
+        ++counter;
+    else if (!taken && counter > 0)
+        --counter;
+
+    history = ((history << 1) | (taken ? 1 : 0)) & mask;
+    return prediction == taken;
+}
+
+void
+GsharePredictor::reset()
+{
+    table.assign(table.size(), 1);
+    history = 0;
+    stats_ = BranchStats{};
+}
+
+} // namespace repro::perfmodel

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Branch-predictor models for the Table II "BR" columns.
+ *
+ * The evaluated Haswell uses an undisclosed predictor; a gshare
+ * predictor (global history XOR PC indexing a 2-bit counter table)
+ * captures the effects the paper discusses — biased branches predict
+ * well, data-dependent noisy branches mispredict, and interleaving
+ * unrelated streams pollutes the shared history.
+ */
+
+#ifndef REPRO_PERFMODEL_BRANCH_H
+#define REPRO_PERFMODEL_BRANCH_H
+
+#include <cstdint>
+#include <vector>
+
+namespace repro::perfmodel {
+
+/** Outcome counters of one predictor instance. */
+struct BranchStats
+{
+    std::uint64_t branches = 0;
+    std::uint64_t mispredictions = 0;
+
+    double
+    missRate() const
+    {
+        return branches ? static_cast<double>(mispredictions) /
+                              static_cast<double>(branches)
+                        : 0.0;
+    }
+
+    void
+    merge(const BranchStats &other)
+    {
+        branches += other.branches;
+        mispredictions += other.mispredictions;
+    }
+};
+
+/**
+ * Gshare predictor: table of 2-bit saturating counters indexed by
+ * (PC ^ global history).
+ */
+class GsharePredictor
+{
+  public:
+    /** @param table_bits log2 of the counter-table size. */
+    explicit GsharePredictor(unsigned table_bits = 14);
+
+    /**
+     * Predicts and then trains on the actual outcome.
+     * @param pc Branch address (any hashable id).
+     * @param taken Actual outcome.
+     * @return true when the prediction was correct.
+     */
+    bool predictAndUpdate(std::uint64_t pc, bool taken);
+
+    /** Accumulated statistics. */
+    const BranchStats &stats() const { return stats_; }
+
+    /** Clears table, history, and statistics. */
+    void reset();
+
+  private:
+    unsigned tableBits;
+    std::vector<std::uint8_t> table; //!< 2-bit counters.
+    std::uint64_t history = 0;
+    BranchStats stats_;
+};
+
+/**
+ * Always-taken baseline predictor (for predictor-quality comparisons in
+ * tests and the micro benches).
+ */
+class StaticTakenPredictor
+{
+  public:
+    bool
+    predictAndUpdate(std::uint64_t /*pc*/, bool taken)
+    {
+        ++stats_.branches;
+        if (!taken)
+            ++stats_.mispredictions;
+        return taken;
+    }
+
+    const BranchStats &stats() const { return stats_; }
+
+  private:
+    BranchStats stats_;
+};
+
+} // namespace repro::perfmodel
+
+#endif // REPRO_PERFMODEL_BRANCH_H

@@ -1,0 +1,135 @@
+#include "perfmodel/cache.h"
+
+#include "util/log.h"
+
+namespace repro::perfmodel {
+
+namespace {
+
+unsigned
+log2exact(std::size_t value, const char *what)
+{
+    unsigned bits = 0;
+    while ((std::size_t{1} << bits) < value)
+        ++bits;
+    REPRO_ASSERT((std::size_t{1} << bits) == value,
+                 std::string(what) + " must be a power of two");
+    return bits;
+}
+
+} // namespace
+
+Cache::Cache(CacheConfig config) : cfg(config)
+{
+    REPRO_ASSERT(cfg.ways > 0, "cache needs at least one way");
+    numSets = cfg.sets();
+    REPRO_ASSERT(numSets > 0, "cache smaller than one set");
+    offsetBits = log2exact(cfg.lineBytes, "line size");
+    // Set count need not be a power of two (the E5-2695 v3 LLC is
+    // 35 MB / 20-way): access() indexes by modulo.
+    lines.assign(numSets * cfg.ways, Line{});
+}
+
+bool
+Cache::access(std::uint64_t addr)
+{
+    ++stats_.accesses;
+    if (lookupFill(addr))
+        return true;
+    ++stats_.misses;
+    if (cfg.nextLinePrefetch)
+        install(addr + cfg.lineBytes);
+    return false;
+}
+
+void
+Cache::install(std::uint64_t addr)
+{
+    lookupFill(addr);
+}
+
+bool
+Cache::lookupFill(std::uint64_t addr)
+{
+    ++useClock;
+    const std::uint64_t line_addr = addr >> offsetBits;
+    const std::size_t set = static_cast<std::size_t>(line_addr % numSets);
+    const std::uint64_t tag = line_addr / numSets;
+
+    Line *base = &lines[set * cfg.ways];
+    Line *victim = base;
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = useClock;
+            return true;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lastUse < victim->lastUse) {
+            victim = &line;
+        }
+    }
+
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = useClock;
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : lines)
+        line.valid = false;
+}
+
+CacheHierarchy::CacheHierarchy(unsigned cores, unsigned coresPerSocket,
+                               CacheConfig l1, CacheConfig l2,
+                               CacheConfig llc)
+    : coresPerSocket_(coresPerSocket ? coresPerSocket : cores), l1Cfg(l1),
+      l2Cfg(l2), llcCfg(llc)
+{
+    REPRO_ASSERT(cores > 0, "hierarchy needs at least one core");
+    const unsigned sockets = (cores + coresPerSocket_ - 1) /
+                             coresPerSocket_;
+    for (unsigned c = 0; c < cores; ++c) {
+        l1s.emplace_back(l1Cfg);
+        l2s.emplace_back(l2Cfg);
+    }
+    for (unsigned s = 0; s < sockets; ++s)
+        llcs.emplace_back(llcCfg);
+}
+
+void
+CacheHierarchy::access(unsigned core, std::uint64_t addr)
+{
+    REPRO_ASSERT(core < l1s.size(), "core id out of range");
+    if (l1s[core].access(addr))
+        return;
+    if (l2s[core].access(addr))
+        return;
+    llcs[core / coresPerSocket_].access(addr);
+}
+
+CacheHierarchy::Totals
+CacheHierarchy::totals() const
+{
+    Totals t;
+    for (const auto &c : l1s)
+        t.l1d.merge(c.stats());
+    for (const auto &c : l2s)
+        t.l2.merge(c.stats());
+    for (const auto &c : llcs)
+        t.llc.merge(c.stats());
+    return t;
+}
+
+void
+CacheHierarchy::reset()
+{
+    *this = CacheHierarchy(static_cast<unsigned>(l1s.size()),
+                           coresPerSocket_, l1Cfg, l2Cfg, llcCfg);
+}
+
+} // namespace repro::perfmodel

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement.
+ *
+ * Table II of the paper reports L1D/L2/LLC misses for the sequential,
+ * original-TLP, and STATS builds of each benchmark; perf-counter access
+ * is unavailable here (DESIGN.md §2), so the reproduction measures the
+ * same quantities on a software cache hierarchy fed with per-workload
+ * synthetic access streams (access_profile.h).
+ */
+
+#ifndef REPRO_PERFMODEL_CACHE_H
+#define REPRO_PERFMODEL_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace repro::perfmodel {
+
+/** Geometry of one cache level. */
+struct CacheConfig
+{
+    std::size_t sizeBytes = 32 * 1024;
+    unsigned ways = 8;
+    unsigned lineBytes = 64;
+
+    /** Next-line prefetch on miss (a simple hardware prefetcher: the
+     *  successor line is installed alongside the missing one). */
+    bool nextLinePrefetch = false;
+
+    /** Number of sets implied by the geometry. */
+    std::size_t sets() const { return sizeBytes / (ways * lineBytes); }
+};
+
+/** Hit/miss counts of one cache instance. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+
+    void
+    merge(const CacheStats &other)
+    {
+        accesses += other.accesses;
+        misses += other.misses;
+    }
+};
+
+/**
+ * One set-associative, true-LRU, write-allocate cache.
+ */
+class Cache
+{
+  public:
+    explicit Cache(CacheConfig config);
+
+    /**
+     * Looks up @p addr, filling on miss.
+     * @return true on hit.
+     */
+    bool access(std::uint64_t addr);
+
+    /** Installs the line of @p addr without counting an access (used
+     *  by the next-line prefetcher). */
+    void install(std::uint64_t addr);
+
+    /** Invalidates every line (used between independent experiments). */
+    void flush();
+
+    /** Accumulated statistics. */
+    const CacheStats &stats() const { return stats_; }
+
+    /** The geometry. */
+    const CacheConfig &config() const { return cfg; }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    /** Looks up and fills @p addr; true on hit (no stats). */
+    bool lookupFill(std::uint64_t addr);
+
+    CacheConfig cfg;
+    std::size_t numSets;
+    unsigned offsetBits;
+    std::vector<Line> lines; //!< numSets x ways, row-major.
+    std::uint64_t useClock = 0;
+    CacheStats stats_;
+};
+
+/**
+ * The paper platform's three-level hierarchy: per-core L1D and L2,
+ * one LLC shared per socket (35 MB, E5-2695 v3).
+ */
+class CacheHierarchy
+{
+  public:
+    /** Per-level statistics of a hierarchy run. */
+    struct Totals
+    {
+        CacheStats l1d, l2, llc;
+    };
+
+    /**
+     * @param cores Hardware cores.
+     * @param coresPerSocket Socket width (selects the shared LLC).
+     */
+    CacheHierarchy(unsigned cores, unsigned coresPerSocket,
+                   CacheConfig l1 = {32 * 1024, 8, 64},
+                   CacheConfig l2 = {256 * 1024, 8, 64},
+                   CacheConfig llc = {35 * 1024 * 1024, 20, 64});
+
+    /** One load/store by @p core at @p addr, walking L1 -> L2 -> LLC. */
+    void access(unsigned core, std::uint64_t addr);
+
+    /** Sums counters across all cache instances, per level. */
+    Totals totals() const;
+
+    /** Clears all lines and statistics. */
+    void reset();
+
+    unsigned cores() const { return static_cast<unsigned>(l1s.size()); }
+
+  private:
+    unsigned coresPerSocket_;
+    CacheConfig l1Cfg, l2Cfg, llcCfg;
+    std::vector<Cache> l1s;  //!< One per core.
+    std::vector<Cache> l2s;  //!< One per core.
+    std::vector<Cache> llcs; //!< One per socket.
+};
+
+} // namespace repro::perfmodel
+
+#endif // REPRO_PERFMODEL_CACHE_H

@@ -1,0 +1,268 @@
+#include "platform/des.h"
+
+#include <limits>
+#include <queue>
+#include <tuple>
+#include <vector>
+
+#include "util/log.h"
+
+namespace repro::platform {
+
+using trace::Task;
+using trace::TaskGraph;
+using trace::TaskId;
+using trace::TaskKind;
+
+Simulator::Simulator(MachineModel machine, SimOptions options)
+    : machine_(std::move(machine)), options_(options)
+{
+}
+
+double
+Simulator::taskCycles(const Task &t, unsigned core,
+                      int payload_source_core) const
+{
+    const double scale =
+        options_.kindCostScale[static_cast<std::size_t>(t.kind)];
+    double cycles = t.work * machine_.cyclesPerWork;
+    if (t.kind == TaskKind::StateCopy && t.bytes > 0) {
+        double copy = static_cast<double>(t.bytes) /
+                      machine_.copyBytesPerCycle;
+        if (payload_source_core >= 0 &&
+            machine_.socketOf(static_cast<unsigned>(payload_source_core)) !=
+                machine_.socketOf(core)) {
+            copy *= machine_.crossSocketCopyPenalty;
+        }
+        cycles += copy;
+    } else if (t.kind == TaskKind::StateCompare && t.bytes > 0) {
+        cycles += static_cast<double>(t.bytes) /
+                  machine_.compareBytesPerCycle;
+    } else if (t.kind == TaskKind::Sync) {
+        cycles += machine_.syncOpCycles;
+    }
+    return cycles * scale;
+}
+
+Schedule
+Simulator::run(const TaskGraph &graph) const
+{
+    const std::size_t n = graph.size();
+    Schedule sched;
+    sched.cores = machine_.numCores;
+    sched.tasks.resize(n);
+    sched.corePredecessor.resize(n);
+    sched.coreBusy.assign(machine_.numCores, 0.0);
+    if (n == 0)
+        return sched;
+
+    // Dependency bookkeeping.
+    std::vector<std::uint32_t> indegree(n, 0);
+    std::vector<std::vector<TaskId>> succ(n);
+    for (const Task &t : graph.tasks()) {
+        indegree[t.id] = static_cast<std::uint32_t>(t.deps.size());
+        for (TaskId d : t.deps)
+            succ[d].push_back(t.id);
+    }
+
+    // Ready tasks, ordered for determinism.
+    struct ReadyEntry
+    {
+        double ready;
+        trace::ThreadId thread;
+        TaskId id;
+        bool
+        operator>(const ReadyEntry &o) const
+        {
+            return std::tie(ready, thread, id) >
+                   std::tie(o.ready, o.thread, o.id);
+        }
+    };
+    std::priority_queue<ReadyEntry, std::vector<ReadyEntry>,
+                        std::greater<ReadyEntry>>
+        pending;
+
+    // Running tasks.
+    struct FinishEvent
+    {
+        double finish;
+        TaskId id;
+        unsigned core;
+        bool
+        operator>(const FinishEvent &o) const
+        {
+            return std::tie(finish, id) > std::tie(o.finish, o.id);
+        }
+    };
+    std::priority_queue<FinishEvent, std::vector<FinishEvent>,
+                        std::greater<FinishEvent>>
+        running;
+
+    // Core state.
+    constexpr trace::ThreadId kNoThread =
+        std::numeric_limits<trace::ThreadId>::max();
+    std::vector<bool> coreIdle(machine_.numCores, true);
+    std::vector<trace::ThreadId> coreThread(machine_.numCores, kNoThread);
+    std::vector<TaskId> coreLastTask(machine_.numCores, 0);
+    std::vector<bool> coreRanAnything(machine_.numCores, false);
+    std::vector<int> threadLastCore(graph.tasks().size(), -1);
+    // threadLastCore indexed by thread id; size by max thread id + 1.
+    std::size_t max_thread = 0;
+    for (const Task &t : graph.tasks())
+        max_thread = std::max<std::size_t>(max_thread, t.thread);
+    threadLastCore.assign(max_thread + 1, -1);
+
+    // Finish time of each thread's latest completed task, for sync-wait
+    // attribution.
+    std::vector<double> perTaskFinish(n, 0.0);
+    std::vector<bool> done(n, false);
+
+    for (const Task &t : graph.tasks()) {
+        if (indegree[t.id] == 0) {
+            sched.tasks[t.id].ready = 0.0;
+            sched.tasks[t.id].criticalDep = t.id;
+            pending.push({0.0, t.thread, t.id});
+        }
+    }
+
+    const double syncScale =
+        options_.kindCostScale[static_cast<std::size_t>(TaskKind::Sync)];
+
+    std::size_t completed = 0;
+    std::size_t startedCount = 0;
+    double now = 0.0;
+
+    auto pick_core = [&](trace::ThreadId thread) -> int {
+        const int preferred = threadLastCore[thread];
+        if (preferred >= 0 && coreIdle[preferred])
+            return preferred;
+        for (unsigned c = 0; c < machine_.numCores; ++c) {
+            if (coreIdle[c])
+                return static_cast<int>(c);
+        }
+        return -1;
+    };
+
+    auto start_task = [&](TaskId id) {
+        const Task &t = graph.task(id);
+        const int core = pick_core(t.thread);
+        REPRO_ASSERT(core >= 0, "start_task called with no idle core");
+        const unsigned c = static_cast<unsigned>(core);
+
+        // Context switch charge when the core changes software threads.
+        double cs = 0.0;
+        if (coreRanAnything[c] && coreThread[c] != t.thread)
+            cs = machine_.contextSwitchCycles * syncScale;
+
+        // NUMA source resolution: the payload producer's placement
+        // decides whether the copy pays the cross-socket penalty.
+        int src_core = -1;
+        if (t.kind == TaskKind::StateCopy && t.payloadSource >= 0) {
+            src_core = static_cast<int>(
+                sched.tasks[static_cast<std::size_t>(t.payloadSource)]
+                    .core);
+        }
+
+        const double cost = taskCycles(t, c, src_core) + cs;
+        TaskSchedule &ts = sched.tasks[id];
+        ts.start = now;
+        ts.finish = now + cost;
+        ts.core = c;
+        ts.startedByCoreWait = ts.start > ts.ready;
+        sched.corePredecessor[id] =
+            coreRanAnything[c] ? coreLastTask[c] : id;
+
+        sched.coreBusy[c] += cost;
+        sched.busyByKind[static_cast<std::size_t>(t.kind)] += cost - cs;
+        sched.contextSwitchCycles += cs;
+
+        coreIdle[c] = false;
+        coreThread[c] = t.thread;
+        coreLastTask[c] = id;
+        coreRanAnything[c] = true;
+        threadLastCore[t.thread] = static_cast<int>(c);
+
+        running.push({ts.finish, id, c});
+        ++startedCount;
+    };
+
+    auto count_idle = [&]() {
+        unsigned idle = 0;
+        for (unsigned c = 0; c < machine_.numCores; ++c)
+            idle += coreIdle[c] ? 1u : 0u;
+        return idle;
+    };
+
+    while (completed < n) {
+        // Start everything that can start now.
+        while (count_idle() > 0 && !pending.empty() &&
+               pending.top().ready <= now) {
+            const TaskId id = pending.top().id;
+            pending.pop();
+            start_task(id);
+        }
+
+        // Advance time.
+        double next = std::numeric_limits<double>::infinity();
+        if (!running.empty())
+            next = std::min(next, running.top().finish);
+        if (count_idle() > 0 && !pending.empty())
+            next = std::min(next, pending.top().ready);
+        REPRO_ASSERT(next < std::numeric_limits<double>::infinity(),
+                     "simulator deadlock: cyclic task graph?");
+        now = std::max(now, next);
+
+        // Retire everything finishing at or before now.
+        while (!running.empty() && running.top().finish <= now) {
+            const FinishEvent ev = running.top();
+            running.pop();
+            done[ev.id] = true;
+            perTaskFinish[ev.id] = ev.finish;
+            coreIdle[ev.core] = true;
+            ++completed;
+            sched.makespan = std::max(sched.makespan, ev.finish);
+
+            for (TaskId s : succ[ev.id]) {
+                TaskSchedule &ss = sched.tasks[s];
+                if (ev.finish >= ss.ready) {
+                    ss.ready = ev.finish;
+                    ss.criticalDep = ev.id;
+                }
+                if (--indegree[s] == 0) {
+                    pending.push(
+                        {ss.ready, graph.task(s).thread, s});
+                }
+            }
+        }
+    }
+    REPRO_ASSERT(startedCount == n, "not every task was scheduled");
+
+    // Synchronization-wait attribution: time a thread spent blocked on a
+    // cross-thread dependency after its own previous work had finished.
+    for (const Task &t : graph.tasks()) {
+        const TaskSchedule &ts = sched.tasks[t.id];
+        if (ts.criticalDep == t.id)
+            continue;
+        const Task &dep = graph.task(ts.criticalDep);
+        if (dep.thread == t.thread)
+            continue;
+        double own_prev_finish = 0.0;
+        for (TaskId d : t.deps) {
+            if (graph.task(d).thread == t.thread) {
+                own_prev_finish =
+                    std::max(own_prev_finish, sched.tasks[d].finish);
+            }
+        }
+        sched.syncWaitCycles += std::max(0.0, ts.ready - own_prev_finish);
+    }
+
+    return sched;
+}
+
+double
+Simulator::runSeconds(const TaskGraph &graph) const
+{
+    return machine_.seconds(run(graph).makespan);
+}
+
+} // namespace repro::platform

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Discrete-event simulator scheduling a task graph onto a machine model.
+ *
+ * The simulator is a deterministic work-conserving list scheduler: when a
+ * core is idle and tasks are ready, the earliest-ready task starts (ties
+ * broken by thread id, then task id); threads prefer the core they last
+ * ran on (affinity), and oversubscription (more software threads than
+ * cores, as in Table I of the paper) is handled by charging a context
+ * switch when a core changes threads.  State copies crossing the socket
+ * boundary pay the QPI penalty of the machine model.
+ *
+ * What-if analysis (paper §V-B, after [26]) is supported through
+ * SimOptions::kindCostScale: scaling a task kind's cost to zero emulates
+ * the parallel execution with that overhead category removed from the
+ * critical path, which is exactly how the paper computes the speedup a
+ * benchmark would reach without that overhead.
+ */
+
+#ifndef REPRO_PLATFORM_DES_H
+#define REPRO_PLATFORM_DES_H
+
+#include <array>
+
+#include "platform/machine.h"
+#include "platform/schedule.h"
+#include "trace/task_graph.h"
+
+namespace repro::platform {
+
+/** Knobs for counterfactual simulation. */
+struct SimOptions
+{
+    /** Per-kind multiplier on task cost; 0 elides a category entirely.
+     *  The Sync scale also applies to context-switch charges. */
+    std::array<double, trace::kNumTaskKinds> kindCostScale;
+
+    SimOptions() { kindCostScale.fill(1.0); }
+
+    /** Returns options with the given kinds' costs scaled to zero. */
+    static SimOptions
+    without(std::initializer_list<trace::TaskKind> kinds)
+    {
+        SimOptions opt;
+        for (auto k : kinds)
+            opt.kindCostScale[static_cast<std::size_t>(k)] = 0.0;
+        return opt;
+    }
+};
+
+/**
+ * Deterministic discrete-event scheduler.
+ */
+class Simulator
+{
+  public:
+    /** @param machine Cost/topology model to execute on. */
+    explicit Simulator(MachineModel machine, SimOptions options = {});
+
+    /** Simulates @p graph; panics on cyclic graphs (engine bug). */
+    Schedule run(const trace::TaskGraph &graph) const;
+
+    /** Makespan of @p graph in seconds on the modeled machine. */
+    double runSeconds(const trace::TaskGraph &graph) const;
+
+    /** The machine being modeled. */
+    const MachineModel &machine() const { return machine_; }
+
+    /** Mutable options (for reuse across what-if variants). */
+    SimOptions &options() { return options_; }
+
+  private:
+    /** Cycles @p t costs on @p core given the producing core of its
+     *  state payload (for NUMA-sensitive copies). */
+    double taskCycles(const trace::Task &t, unsigned core,
+                      int payload_source_core) const;
+
+    MachineModel machine_;
+    SimOptions options_;
+};
+
+} // namespace repro::platform
+
+#endif // REPRO_PLATFORM_DES_H

@@ -1,0 +1,19 @@
+#include "platform/machine.h"
+
+#include "util/log.h"
+
+namespace repro::platform {
+
+MachineModel
+MachineModel::haswell(unsigned cores)
+{
+    if (cores == 0)
+        util::fatal("machine needs at least one core");
+    MachineModel m;
+    m.numCores = cores;
+    m.coresPerSocket = cores <= 14 ? cores : (cores + 1) / 2;
+    m.name = "haswell-" + std::to_string(cores) + "c";
+    return m;
+}
+
+} // namespace repro::platform

@@ -1,0 +1,59 @@
+#include "platform/schedule.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace repro::platform {
+
+double
+Schedule::utilization() const
+{
+    if (makespan <= 0.0 || cores == 0)
+        return 0.0;
+    double busy = 0.0;
+    for (double b : coreBusy)
+        busy += b;
+    return busy / (makespan * static_cast<double>(cores));
+}
+
+trace::TaskId
+Schedule::lastTask() const
+{
+    REPRO_ASSERT(!tasks.empty(), "empty schedule has no last task");
+    trace::TaskId last = 0;
+    for (std::size_t i = 1; i < tasks.size(); ++i) {
+        if (tasks[i].finish > tasks[last].finish)
+            last = static_cast<trace::TaskId>(i);
+    }
+    return last;
+}
+
+std::vector<trace::TaskId>
+Schedule::criticalPath() const
+{
+    std::vector<trace::TaskId> path;
+    if (tasks.empty())
+        return path;
+    trace::TaskId cur = lastTask();
+    std::size_t guard = 0;
+    while (true) {
+        path.push_back(cur);
+        REPRO_ASSERT(++guard <= tasks.size() + 1,
+                     "critical path longer than task count");
+        const TaskSchedule &ts = tasks[cur];
+        trace::TaskId prev = cur;
+        if (ts.startedByCoreWait && !corePredecessor.empty()) {
+            prev = corePredecessor[cur];
+        } else if (ts.criticalDep != cur) {
+            prev = ts.criticalDep;
+        }
+        if (prev == cur)
+            break;
+        cur = prev;
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+} // namespace repro::platform

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The result of simulating a task graph on a machine model.
+ */
+
+#ifndef REPRO_PLATFORM_SCHEDULE_H
+#define REPRO_PLATFORM_SCHEDULE_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "trace/task.h"
+
+namespace repro::platform {
+
+/** Placement and timing of one task in a simulated schedule. */
+struct TaskSchedule
+{
+    double ready = 0.0;   //!< Cycle when all dependencies had finished.
+    double start = 0.0;   //!< Cycle execution began.
+    double finish = 0.0;  //!< Cycle execution completed.
+    unsigned core = 0;    //!< Core it ran on.
+    /** Dependency whose completion determined @c ready (or self id when
+     *  the task had no dependencies). */
+    trace::TaskId criticalDep = 0;
+    bool startedByCoreWait = false; //!< start > ready: waited for a core.
+};
+
+/**
+ * Complete simulated schedule of one run.
+ */
+struct Schedule
+{
+    std::vector<TaskSchedule> tasks; //!< Indexed by TaskId.
+    double makespan = 0.0;           //!< Cycle the last task finished.
+    unsigned cores = 0;              //!< Cores of the simulated machine.
+    std::vector<double> coreBusy;    //!< Busy cycles per core.
+
+    /** Busy cycles per task kind (cost actually charged, incl. copy and
+     *  sync surcharges). */
+    std::array<double, trace::kNumTaskKinds> busyByKind{};
+
+    /** Cycles threads spent blocked on cross-thread dependencies whose
+     *  producing task belongs to another thread (synchronization wait). */
+    double syncWaitCycles = 0.0;
+
+    /** Total context-switch cycles charged. */
+    double contextSwitchCycles = 0.0;
+
+    /** Average core utilization in [0, 1]. */
+    double utilization() const;
+
+    /** Id of the task that finishes last. */
+    trace::TaskId lastTask() const;
+
+    /**
+     * Chain of task ids ending at the makespan-defining task, following
+     * each task's constraining predecessor (dependency or core-occupancy
+     * predecessor), earliest first.  This is the post-mortem critical
+     * path of §V-B (after [26]).
+     */
+    std::vector<trace::TaskId> criticalPath() const;
+
+    /** Per-task constraining core-predecessor recorded during the
+     *  simulation (task that ran immediately before on the same core, or
+     *  the task's own id when it was first). */
+    std::vector<trace::TaskId> corePredecessor;
+};
+
+} // namespace repro::platform
+
+#endif // REPRO_PLATFORM_SCHEDULE_H

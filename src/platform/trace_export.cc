@@ -1,0 +1,109 @@
+#include "platform/trace_export.h"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+#include <vector>
+
+#include "util/log.h"
+#include "util/table.h"
+
+namespace repro::platform {
+
+using trace::TaskKind;
+
+char
+taskKindGlyph(TaskKind kind)
+{
+    switch (kind) {
+      case TaskKind::ChunkBody:        return 'B';
+      case TaskKind::AltProducer:      return 'A';
+      case TaskKind::OriginalStateGen: return 'O';
+      case TaskKind::StateCompare:     return 'C';
+      case TaskKind::StateCopy:        return 'Y';
+      case TaskKind::Setup:            return 'U';
+      case TaskKind::Sync:             return 'S';
+      case TaskKind::SeqCode:          return 'Q';
+      case TaskKind::MispecReExec:     return 'R';
+      case TaskKind::NumKinds:         break;
+    }
+    return '?';
+}
+
+void
+writeChromeTrace(const Schedule &schedule, const trace::TaskGraph &graph,
+                 std::ostream &os)
+{
+    REPRO_ASSERT(schedule.tasks.size() == graph.size(),
+                 "schedule does not belong to this graph");
+    os << "[";
+    bool first = true;
+    for (const auto &task : graph.tasks()) {
+        const auto &ts = schedule.tasks[task.id];
+        if (ts.finish <= ts.start)
+            continue; // Zero-duration events clutter the view.
+        if (!first)
+            os << ",";
+        first = false;
+        // Timestamps in microseconds-as-cycles (viewer units are
+        // arbitrary); pid groups the machine, tid is the core row.
+        os << "\n  {\"name\":\"" << trace::taskKindName(task.kind)
+           << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << ts.core
+           << ",\"ts\":" << ts.start << ",\"dur\":"
+           << ts.finish - ts.start << ",\"args\":{\"task\":" << task.id
+           << ",\"thread\":" << task.thread
+           << ",\"chunk\":" << task.chunk << "}}";
+    }
+    os << "\n]\n";
+}
+
+std::string
+asciiTimeline(const Schedule &schedule, const trace::TaskGraph &graph,
+              unsigned width)
+{
+    REPRO_ASSERT(schedule.tasks.size() == graph.size(),
+                 "schedule does not belong to this graph");
+    REPRO_ASSERT(width >= 8, "timeline too narrow");
+    std::ostringstream os;
+    if (graph.empty() || schedule.makespan <= 0.0)
+        return "(empty schedule)\n";
+
+    const double bucket = schedule.makespan / width;
+    // rows[core][column] -> (occupied cycles, glyph) for the winner.
+    std::vector<std::vector<double>> occupied(
+        schedule.cores, std::vector<double>(width, 0.0));
+    std::vector<std::string> rows(schedule.cores,
+                                  std::string(width, '.'));
+
+    for (const auto &task : graph.tasks()) {
+        const auto &ts = schedule.tasks[task.id];
+        if (ts.finish <= ts.start)
+            continue;
+        const unsigned lo = static_cast<unsigned>(ts.start / bucket);
+        const unsigned hi = std::min<unsigned>(
+            width - 1, static_cast<unsigned>(ts.finish / bucket));
+        for (unsigned col = lo; col <= hi; ++col) {
+            const double cell_start = col * bucket;
+            const double cell_end = cell_start + bucket;
+            const double overlap = std::min(ts.finish, cell_end) -
+                                   std::max(ts.start, cell_start);
+            if (overlap > occupied[ts.core][col]) {
+                occupied[ts.core][col] = overlap;
+                rows[ts.core][col] = taskKindGlyph(task.kind);
+            }
+        }
+    }
+
+    os << "time -> (" << util::formatDouble(schedule.makespan, 0)
+       << " cycles, " << width << " columns)\n";
+    for (unsigned core = 0; core < schedule.cores; ++core) {
+        os << "core " << (core < 10 ? " " : "") << core << " |"
+           << rows[core] << "|\n";
+    }
+    os << "legend: B body  A alt-producer  O orig-states  C compare  "
+          "Y copy\n        U setup  S sync  Q seq-code  R reexec  "
+          ". idle\n";
+    return os.str();
+}
+
+} // namespace repro::platform

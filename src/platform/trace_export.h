@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Schedule visualization: Chrome-trace JSON and ASCII timelines.
+ *
+ * The paper explains the STATS execution model with per-core timeline
+ * figures (Figs. 4-8: alternative producers, original-state blocks,
+ * setup, synchronization, state clones laid out over cores).  These
+ * exporters render any simulated schedule the same way: as a
+ * chrome://tracing / Perfetto JSON file, or as an ASCII Gantt chart for
+ * terminals and docs.
+ */
+
+#ifndef REPRO_PLATFORM_TRACE_EXPORT_H
+#define REPRO_PLATFORM_TRACE_EXPORT_H
+
+#include <ostream>
+#include <string>
+
+#include "platform/schedule.h"
+#include "trace/task_graph.h"
+
+namespace repro::platform {
+
+/**
+ * Writes @p schedule as a Chrome trace-event JSON array (load it in
+ * chrome://tracing or https://ui.perfetto.dev).  One complete event
+ * per task; rows are cores; event names are task kinds; chunk/thread
+ * are attached as args.
+ */
+void writeChromeTrace(const Schedule &schedule,
+                      const trace::TaskGraph &graph, std::ostream &os);
+
+/**
+ * Renders an ASCII Gantt chart: one row per core, @p width time
+ * columns, each cell showing the kind of the task occupying that core
+ * ('B' body, 'A' alt producer, 'O' original states, 'C' compare,
+ * 'Y' copy, 'U' setup, 'S' sync, 'Q' sequential code, 'R' re-exec,
+ * '.' idle).  Ties within a cell resolve to the longest-running kind.
+ */
+std::string asciiTimeline(const Schedule &schedule,
+                          const trace::TaskGraph &graph,
+                          unsigned width = 80);
+
+/** The single-character cell code of a task kind (see asciiTimeline). */
+char taskKindGlyph(trace::TaskKind kind);
+
+} // namespace repro::platform
+
+#endif // REPRO_PLATFORM_TRACE_EXPORT_H

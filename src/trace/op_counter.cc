@@ -1,0 +1,47 @@
+#include "trace/op_counter.h"
+
+namespace repro::trace {
+
+std::uint64_t
+OpCounter::total() const
+{
+    std::uint64_t sum = 0;
+    for (auto c : counts)
+        sum += c;
+    return sum;
+}
+
+std::uint64_t
+OpCounter::overheadTotal() const
+{
+    std::uint64_t sum = 0;
+    for (std::size_t k = 0; k < kNumTaskKinds; ++k) {
+        if (isOverheadKind(static_cast<TaskKind>(k)))
+            sum += counts[k];
+    }
+    return sum;
+}
+
+void
+OpCounter::transfer(TaskKind from, TaskKind to, std::uint64_t n)
+{
+    auto &src = counts[static_cast<std::size_t>(from)];
+    const std::uint64_t moved = n < src ? n : src;
+    src -= moved;
+    counts[static_cast<std::size_t>(to)] += moved;
+}
+
+void
+OpCounter::reset()
+{
+    counts.fill(0);
+}
+
+void
+OpCounter::merge(const OpCounter &other)
+{
+    for (std::size_t k = 0; k < kNumTaskKinds; ++k)
+        counts[k] += other.counts[k];
+}
+
+} // namespace repro::trace

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Dynamic-instruction accounting by overhead category.
+ *
+ * The paper's Figures 14 and 15 report the *extra instructions* executed
+ * by STATS binaries relative to the original program, broken down by the
+ * component of the execution model that executes them.  Workload kernels
+ * tick an OpCounter while they run (one tick ~ one dynamic instruction of
+ * the modeled program); the engine routes ticks to the category of the
+ * task being executed.
+ */
+
+#ifndef REPRO_TRACE_OP_COUNTER_H
+#define REPRO_TRACE_OP_COUNTER_H
+
+#include <array>
+#include <cstdint>
+
+#include "trace/task.h"
+
+namespace repro::trace {
+
+/**
+ * Per-category dynamic operation counts for one run.
+ */
+class OpCounter
+{
+  public:
+    /** Adds @p n operations to @p kind's bucket. */
+    void
+    tick(TaskKind kind, std::uint64_t n)
+    {
+        counts[static_cast<std::size_t>(kind)] += n;
+    }
+
+    /** Operations charged to @p kind so far. */
+    std::uint64_t
+    count(TaskKind kind) const
+    {
+        return counts[static_cast<std::size_t>(kind)];
+    }
+
+    /** Total operations across all categories. */
+    std::uint64_t total() const;
+
+    /** Total operations in overhead categories (see isOverheadKind). */
+    std::uint64_t overheadTotal() const;
+
+    /**
+     * Moves @p n operations from one bucket to another (used when work
+     * executed speculatively is re-attributed after an abort).  Moves at
+     * most what @p from holds.
+     */
+    void transfer(TaskKind from, TaskKind to, std::uint64_t n);
+
+    /** Resets every bucket to zero. */
+    void reset();
+
+    /** Accumulates another counter into this one. */
+    void merge(const OpCounter &other);
+
+  private:
+    std::array<std::uint64_t, kNumTaskKinds> counts{};
+};
+
+} // namespace repro::trace
+
+#endif // REPRO_TRACE_OP_COUNTER_H

@@ -1,0 +1,29 @@
+#include "trace/task.h"
+
+namespace repro::trace {
+
+const char *
+taskKindName(TaskKind kind)
+{
+    switch (kind) {
+      case TaskKind::ChunkBody:        return "chunk-body";
+      case TaskKind::AltProducer:      return "alt-producer";
+      case TaskKind::OriginalStateGen: return "original-state-gen";
+      case TaskKind::StateCompare:     return "state-compare";
+      case TaskKind::StateCopy:        return "state-copy";
+      case TaskKind::Setup:            return "setup";
+      case TaskKind::Sync:             return "sync";
+      case TaskKind::SeqCode:          return "seq-code";
+      case TaskKind::MispecReExec:     return "mispec-reexec";
+      case TaskKind::NumKinds:         break;
+    }
+    return "?";
+}
+
+bool
+isOverheadKind(TaskKind kind)
+{
+    return kind != TaskKind::ChunkBody && kind != TaskKind::SeqCode;
+}
+
+} // namespace repro::trace

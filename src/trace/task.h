@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Task and task-kind definitions.
+ *
+ * The STATS engine (src/core) executes a workload *logically* and emits a
+ * task graph describing the parallel execution the STATS back-end compiler
+ * would have produced: one task per unit of scheduled work, typed by the
+ * overhead taxonomy of Section III of the paper.  The platform simulator
+ * (src/platform) then schedules this graph on a modeled multicore to
+ * obtain timing, and the analysis module (src/analysis) re-schedules
+ * counterfactual variants of it to attribute speedup loss per category.
+ */
+
+#ifndef REPRO_TRACE_TASK_H
+#define REPRO_TRACE_TASK_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace repro::trace {
+
+/** Identifier of a task within its TaskGraph. */
+using TaskId = std::uint32_t;
+
+/** Identifier of a logical software thread. */
+using ThreadId = std::uint32_t;
+
+/** Sentinel for "no chunk" (setup, sequential code, ...). */
+constexpr std::int32_t kNoChunk = -1;
+
+/**
+ * Category of scheduled work, following Section III of the paper.
+ *
+ * ChunkBody is the useful work the original program would also have done
+ * inside the STATS region.  Every other kind is overhead introduced by the
+ * STATS execution model (or, for SeqCode, work outside the parallelized
+ * region; for MispecReExec, work re-done because a speculation aborted).
+ */
+enum class TaskKind : std::uint8_t
+{
+    ChunkBody,       //!< Real program work of a chunk (dark boxes, Fig. 2b).
+    AltProducer,     //!< Alternative producer generating a speculative state.
+    OriginalStateGen,//!< Replica run regenerating an extra original state.
+    StateCompare,    //!< Comparison of speculative vs original state.
+    StateCopy,       //!< Copy of a computational state (cost from bytes).
+    Setup,           //!< Runtime setup/teardown of supporting structures.
+    Sync,            //!< Thread synchronization operation (wake/signal).
+    SeqCode,         //!< Code before/after the STATS region (Fig. 8).
+    MispecReExec,    //!< Re-execution of an aborted speculative chunk.
+    NumKinds
+};
+
+/** Number of distinct task kinds. */
+constexpr std::size_t kNumTaskKinds =
+    static_cast<std::size_t>(TaskKind::NumKinds);
+
+/** Short human-readable name of a kind ("chunk-body", "alt-producer"...). */
+const char *taskKindName(TaskKind kind);
+
+/** True for kinds that are pure STATS overhead (everything except
+ *  ChunkBody and SeqCode). */
+bool isOverheadKind(TaskKind kind);
+
+/**
+ * One schedulable unit of work.
+ *
+ * @c work is in abstract work units (1 unit ~ 1 dynamic instruction of the
+ * modeled program); the machine model converts it to cycles.  @c bytes is
+ * nonzero only for StateCopy/StateCompare tasks, whose cost additionally
+ * depends on state size and (for copies) on the NUMA placement the
+ * simulator resolves at schedule time.
+ */
+struct Task
+{
+    TaskId id = 0;               //!< Dense index within the graph.
+    TaskKind kind = TaskKind::ChunkBody;
+    ThreadId thread = 0;         //!< Logical software thread executing it.
+    std::int32_t chunk = kNoChunk; //!< STATS chunk it belongs to, if any.
+    double work = 0.0;           //!< Abstract work units (>= 0).
+    std::size_t bytes = 0;       //!< Payload size for copy/compare tasks.
+    std::vector<TaskId> deps;    //!< Tasks that must finish before this.
+    std::string label;           //!< Optional debugging label.
+
+    /** For StateCopy tasks: the task that produced the copied payload;
+     *  the simulator charges the cross-socket penalty when the producer
+     *  ran on the other socket.  -1 when not applicable. */
+    std::int64_t payloadSource = -1;
+};
+
+} // namespace repro::trace
+
+#endif // REPRO_TRACE_TASK_H

@@ -1,0 +1,164 @@
+#include "trace/task_graph.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace repro::trace {
+
+TaskId
+TaskGraph::addTask(TaskKind kind, ThreadId thread, double work,
+                   std::int32_t chunk, std::size_t bytes, bool detached)
+{
+    REPRO_ASSERT(work >= 0.0, "task work must be non-negative");
+    Task t;
+    t.id = static_cast<TaskId>(tasks_.size());
+    t.kind = kind;
+    t.thread = thread;
+    t.chunk = chunk;
+    t.work = work;
+    t.bytes = bytes;
+
+    if (thread >= threadSeen.size()) {
+        threadSeen.resize(thread + 1, false);
+        lastOfThread.resize(thread + 1, 0);
+    }
+    if (!detached && threadSeen[thread])
+        t.deps.push_back(lastOfThread[thread]);
+    threadSeen[thread] = true;
+    lastOfThread[thread] = t.id;
+
+    tasks_.push_back(std::move(t));
+    return tasks_.back().id;
+}
+
+void
+TaskGraph::addDep(TaskId before, TaskId after)
+{
+    REPRO_ASSERT(before < tasks_.size() && after < tasks_.size(),
+                 "dependency references unknown task");
+    REPRO_ASSERT(before != after, "task cannot depend on itself");
+    auto &deps = tasks_[after].deps;
+    if (std::find(deps.begin(), deps.end(), before) == deps.end())
+        deps.push_back(before);
+}
+
+void
+TaskGraph::setLabel(TaskId id, std::string label)
+{
+    REPRO_ASSERT(id < tasks_.size(), "label references unknown task");
+    tasks_[id].label = std::move(label);
+}
+
+const Task &
+TaskGraph::task(TaskId id) const
+{
+    REPRO_ASSERT(id < tasks_.size(), "task id out of range");
+    return tasks_[id];
+}
+
+Task &
+TaskGraph::mutableTask(TaskId id)
+{
+    REPRO_ASSERT(id < tasks_.size(), "task id out of range");
+    return tasks_[id];
+}
+
+std::size_t
+TaskGraph::numThreads() const
+{
+    std::size_t threads = 0;
+    for (std::size_t t = 0; t < threadSeen.size(); ++t) {
+        if (threadSeen[t])
+            ++threads;
+    }
+    return threads;
+}
+
+std::array<double, kNumTaskKinds>
+TaskGraph::workByKind() const
+{
+    std::array<double, kNumTaskKinds> sums{};
+    for (const auto &t : tasks_)
+        sums[static_cast<std::size_t>(t.kind)] += t.work;
+    return sums;
+}
+
+double
+TaskGraph::totalWork() const
+{
+    double sum = 0.0;
+    for (const auto &t : tasks_)
+        sum += t.work;
+    return sum;
+}
+
+std::vector<TaskId>
+TaskGraph::topologicalOrder() const
+{
+    std::vector<std::uint32_t> indegree(tasks_.size(), 0);
+    for (const auto &t : tasks_) {
+        for (TaskId d : t.deps) {
+            (void)d;
+            ++indegree[t.id];
+        }
+    }
+    // Successor lists.
+    std::vector<std::vector<TaskId>> succ(tasks_.size());
+    for (const auto &t : tasks_) {
+        for (TaskId d : t.deps)
+            succ[d].push_back(t.id);
+    }
+
+    std::vector<TaskId> ready;
+    for (const auto &t : tasks_) {
+        if (indegree[t.id] == 0)
+            ready.push_back(t.id);
+    }
+
+    std::vector<TaskId> order;
+    order.reserve(tasks_.size());
+    std::size_t head = 0;
+    std::vector<TaskId> queue = std::move(ready);
+    while (head < queue.size()) {
+        const TaskId id = queue[head++];
+        order.push_back(id);
+        for (TaskId s : succ[id]) {
+            if (--indegree[s] == 0)
+                queue.push_back(s);
+        }
+    }
+    REPRO_ASSERT(order.size() == tasks_.size(),
+                 "task graph contains a cycle");
+    return order;
+}
+
+bool
+TaskGraph::isAcyclic() const
+{
+    std::vector<std::uint32_t> indegree(tasks_.size(), 0);
+    std::vector<std::vector<TaskId>> succ(tasks_.size());
+    for (const auto &t : tasks_) {
+        for (TaskId d : t.deps) {
+            succ[d].push_back(t.id);
+            ++indegree[t.id];
+        }
+    }
+    std::vector<TaskId> queue;
+    for (const auto &t : tasks_) {
+        if (indegree[t.id] == 0)
+            queue.push_back(t.id);
+    }
+    std::size_t visited = 0, head = 0;
+    while (head < queue.size()) {
+        const TaskId id = queue[head++];
+        ++visited;
+        for (TaskId s : succ[id]) {
+            if (--indegree[s] == 0)
+                queue.push_back(s);
+        }
+    }
+    return visited == tasks_.size();
+}
+
+} // namespace repro::trace

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The task graph emitted by a STATS run.
+ *
+ * A TaskGraph is a DAG of typed tasks (see task.h) with intra-thread
+ * program order expressed as ordinary dependencies.  It is the interface
+ * between the STATS engine (producer), the platform simulator (consumer),
+ * and the what-if analysis (which consumes transformed copies).
+ */
+
+#ifndef REPRO_TRACE_TASK_GRAPH_H
+#define REPRO_TRACE_TASK_GRAPH_H
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "trace/task.h"
+
+namespace repro::trace {
+
+/**
+ * Mutable builder/container for the DAG of tasks of one parallel run.
+ */
+class TaskGraph
+{
+  public:
+    /**
+     * Appends a task and returns its id.
+     *
+     * The new task automatically depends on the previously added task of
+     * the same thread (program order), unless @p detached is true.
+     *
+     * @param kind Category of the work.
+     * @param thread Logical software thread executing the task.
+     * @param work Abstract work units.
+     * @param chunk STATS chunk index or kNoChunk.
+     * @param bytes Payload for copy/compare tasks.
+     * @param detached Skip the implicit program-order dependency.
+     */
+    TaskId addTask(TaskKind kind, ThreadId thread, double work,
+                   std::int32_t chunk = kNoChunk, std::size_t bytes = 0,
+                   bool detached = false);
+
+    /** Adds an explicit dependency: @p after runs only once @p before
+     *  finished.  Duplicate edges are ignored. */
+    void addDep(TaskId before, TaskId after);
+
+    /** Sets a human-readable label on @p id (debugging only). */
+    void setLabel(TaskId id, std::string label);
+
+    /** Immutable task access. */
+    const Task &task(TaskId id) const;
+    /** Mutable task access (used by graph transforms in analysis). */
+    Task &mutableTask(TaskId id);
+
+    /** Number of tasks. */
+    std::size_t size() const { return tasks_.size(); }
+    /** True when no task has been added. */
+    bool empty() const { return tasks_.empty(); }
+    /** All tasks in insertion order. */
+    const std::vector<Task> &tasks() const { return tasks_; }
+
+    /** Number of distinct software threads referenced. */
+    std::size_t numThreads() const;
+
+    /** Sum of work units per kind. */
+    std::array<double, kNumTaskKinds> workByKind() const;
+
+    /** Sum of all work units. */
+    double totalWork() const;
+
+    /**
+     * Topological order of task ids.
+     *
+     * @return Ids in a valid execution order.
+     * @throws via util::panic if the graph has a cycle (engine bug).
+     */
+    std::vector<TaskId> topologicalOrder() const;
+
+    /** True iff the dependence relation is acyclic. */
+    bool isAcyclic() const;
+
+  private:
+    std::vector<Task> tasks_;
+    std::vector<TaskId> lastOfThread; //!< Last task id per thread, for
+                                      //!< implicit program-order edges.
+    std::vector<bool> threadSeen;
+};
+
+} // namespace repro::trace
+
+#endif // REPRO_TRACE_TASK_GRAPH_H

@@ -1,0 +1,82 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+#include "util/log.h"
+
+namespace repro::util {
+
+Cli::Cli(int argc, const char *const *argv)
+{
+    prog = argc > 0 ? argv[0] : "";
+    for (int i = 1; i < argc; ++i) {
+        std::string token = argv[i];
+        if (token.rfind("--", 0) == 0) {
+            const auto eq = token.find('=');
+            if (eq == std::string::npos) {
+                options[token.substr(2)] = "";
+            } else {
+                options[token.substr(2, eq - 2)] = token.substr(eq + 1);
+            }
+        } else {
+            args.push_back(std::move(token));
+        }
+    }
+}
+
+bool
+Cli::has(const std::string &name) const
+{
+    return options.count(name) > 0;
+}
+
+std::string
+Cli::getString(const std::string &name, const std::string &def) const
+{
+    const auto it = options.find(name);
+    return it == options.end() ? def : it->second;
+}
+
+std::int64_t
+Cli::getInt(const std::string &name, std::int64_t def) const
+{
+    const auto it = options.find(name);
+    if (it == options.end())
+        return def;
+    char *end = nullptr;
+    const std::int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("option --" + name + " expects an integer, got '" +
+              it->second + "'");
+    return value;
+}
+
+double
+Cli::getDouble(const std::string &name, double def) const
+{
+    const auto it = options.find(name);
+    if (it == options.end())
+        return def;
+    char *end = nullptr;
+    const double value = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("option --" + name + " expects a number, got '" + it->second +
+              "'");
+    return value;
+}
+
+bool
+Cli::getBool(const std::string &name, bool def) const
+{
+    const auto it = options.find(name);
+    if (it == options.end())
+        return def;
+    const std::string &v = it->second;
+    if (v.empty() || v == "1" || v == "true" || v == "yes")
+        return true;
+    if (v == "0" || v == "false" || v == "no")
+        return false;
+    fatal("option --" + name + " expects a boolean, got '" + v + "'");
+}
+
+} // namespace repro::util

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal --key=value command-line parsing for bench/example binaries.
+ *
+ * Every harness accepts the same flag style, e.g.:
+ *     bench_fig09 --cores=28 --seed=7 --scale=0.25 --csv
+ */
+
+#ifndef REPRO_UTIL_CLI_H
+#define REPRO_UTIL_CLI_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace repro::util {
+
+/**
+ * Parsed command line: --key=value and bare --flag options plus
+ * positional arguments.
+ */
+class Cli
+{
+  public:
+    /** Parses argv; unknown options are kept and queryable. */
+    Cli(int argc, const char *const *argv);
+
+    /** True if --name or --name=... was given. */
+    bool has(const std::string &name) const;
+
+    /** String value of --name, or @p def if absent. */
+    std::string getString(const std::string &name,
+                          const std::string &def) const;
+
+    /** Integer value of --name, or @p def; fatal() on parse failure. */
+    std::int64_t getInt(const std::string &name, std::int64_t def) const;
+
+    /** Double value of --name, or @p def; fatal() on parse failure. */
+    double getDouble(const std::string &name, double def) const;
+
+    /** Boolean: bare --name, or --name=true/false/1/0. */
+    bool getBool(const std::string &name, bool def) const;
+
+    /** Non-option arguments in order. */
+    const std::vector<std::string> &positional() const { return args; }
+
+    /** Program name (argv[0]). */
+    const std::string &program() const { return prog; }
+
+  private:
+    std::string prog;
+    std::map<std::string, std::string> options;
+    std::vector<std::string> args;
+};
+
+} // namespace repro::util
+
+#endif // REPRO_UTIL_CLI_H

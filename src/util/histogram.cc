@@ -1,0 +1,102 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/log.h"
+#include "util/table.h"
+
+namespace repro::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts(bins, 0)
+{
+    REPRO_ASSERT(bins >= 1, "histogram needs at least one bin");
+    REPRO_ASSERT(hi > lo, "histogram range must be non-empty");
+}
+
+void
+Histogram::add(double value)
+{
+    const double frac = (value - lo_) / (hi_ - lo_);
+    const auto bin = static_cast<std::size_t>(std::clamp(
+        static_cast<long long>(std::floor(
+            frac * static_cast<double>(counts.size()))),
+        0LL, static_cast<long long>(counts.size()) - 1));
+    ++counts[bin];
+    ++total_;
+}
+
+void
+Histogram::addAll(const std::vector<double> &values)
+{
+    for (double v : values)
+        add(v);
+}
+
+std::size_t
+Histogram::count(std::size_t b) const
+{
+    REPRO_ASSERT(b < counts.size(), "bin out of range");
+    return counts[b];
+}
+
+double
+Histogram::binLow(std::size_t b) const
+{
+    REPRO_ASSERT(b < counts.size(), "bin out of range");
+    return lo_ + (hi_ - lo_) * static_cast<double>(b) /
+                     static_cast<double>(counts.size());
+}
+
+std::string
+Histogram::render(unsigned max_bar) const
+{
+    const std::size_t peak =
+        *std::max_element(counts.begin(), counts.end());
+    std::ostringstream os;
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+        const double low = binLow(b);
+        const double high =
+            b + 1 == counts.size() ? hi_ : binLow(b + 1);
+        const unsigned bar =
+            peak == 0 ? 0
+                      : static_cast<unsigned>(std::llround(
+                            static_cast<double>(counts[b]) * max_bar /
+                            static_cast<double>(peak)));
+        os << "[" << formatDouble(low, 4) << "," << formatDouble(high, 4)
+           << ") " << std::string(bar, '#') << " " << counts[b] << "\n";
+    }
+    return os.str();
+}
+
+std::string
+Histogram::sparkline() const
+{
+    static const char *levels[] = {" ", ".", ":", "-", "=", "+", "*",
+                                   "#"};
+    const std::size_t peak =
+        *std::max_element(counts.begin(), counts.end());
+    std::string out;
+    for (std::size_t c : counts) {
+        const std::size_t level =
+            peak == 0 ? 0 : (c * 7 + peak - 1) / peak;
+        out += levels[std::min<std::size_t>(level, 7)];
+    }
+    return out;
+}
+
+Histogram
+histogramOf(const std::vector<double> &values, std::size_t bins)
+{
+    REPRO_ASSERT(!values.empty(), "histogram of empty sample");
+    const auto [lo, hi] =
+        std::minmax_element(values.begin(), values.end());
+    const double span = *hi > *lo ? *hi - *lo : 1.0;
+    Histogram h(*lo, *lo + span, bins);
+    h.addAll(values);
+    return h;
+}
+
+} // namespace repro::util

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Text histograms for distribution figures (Fig. 16).
+ *
+ * The paper's Fig. 16 shows output-quality *distributions*; the
+ * fig16 bench prints summary rows plus these ASCII histograms so the
+ * distribution shapes themselves are visible in a terminal.
+ */
+
+#ifndef REPRO_UTIL_HISTOGRAM_H
+#define REPRO_UTIL_HISTOGRAM_H
+
+#include <string>
+#include <vector>
+
+namespace repro::util {
+
+/**
+ * Fixed-range histogram with equal-width bins.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower edge of the first bin.
+     * @param hi Upper edge of the last bin (> lo).
+     * @param bins Number of bins (>= 1).
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Adds a sample; values outside [lo, hi] clamp to the edge bins. */
+    void add(double value);
+
+    /** Adds every sample of @p values. */
+    void addAll(const std::vector<double> &values);
+
+    /** Count in bin @p b. */
+    std::size_t count(std::size_t b) const;
+
+    /** Total samples added. */
+    std::size_t total() const { return total_; }
+
+    /** Number of bins. */
+    std::size_t bins() const { return counts.size(); }
+
+    /** Lower edge of bin @p b. */
+    double binLow(std::size_t b) const;
+
+    /**
+     * Renders one bar row per bin:
+     *   [0.10,0.20) ######### 42
+     * @param max_bar Width of the largest bar.
+     */
+    std::string render(unsigned max_bar = 40) const;
+
+    /**
+     * Renders a single-line sparkline (one character per bin, eight
+     * density levels) — compact enough for table cells.
+     */
+    std::string sparkline() const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts;
+    std::size_t total_ = 0;
+};
+
+/** Histogram spanning exactly the range of @p values. */
+Histogram histogramOf(const std::vector<double> &values,
+                      std::size_t bins = 16);
+
+} // namespace repro::util
+
+#endif // REPRO_UTIL_HISTOGRAM_H

@@ -1,0 +1,59 @@
+#include "util/log.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace repro::util {
+
+namespace {
+LogLevel g_level = LogLevel::Info;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info:  return "INFO";
+      case LogLevel::Warn:  return "WARN";
+      case LogLevel::Error: return "ERROR";
+    }
+    return "?";
+}
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(g_level))
+        return;
+    std::cerr << "[" << levelName(level) << "] " << msg << "\n";
+}
+
+void
+panic(const std::string &msg, const char *file, int line)
+{
+    std::cerr << "[PANIC] " << file << ":" << line << ": " << msg
+              << std::endl;
+    std::abort();
+}
+
+void
+fatal(const std::string &msg)
+{
+    std::cerr << "[FATAL] " << msg << std::endl;
+    std::exit(1);
+}
+
+} // namespace repro::util

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Logging and invariant checking.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a bug in this library), fatal() is for user errors (bad
+ * configuration, impossible parameter combinations).
+ */
+
+#ifndef REPRO_UTIL_LOG_H
+#define REPRO_UTIL_LOG_H
+
+#include <sstream>
+#include <string>
+
+namespace repro::util {
+
+/** Severity of a log message. */
+enum class LogLevel { Debug, Info, Warn, Error };
+
+/** Minimum level that is emitted; defaults to Info. */
+void setLogLevel(LogLevel level);
+
+/** Current minimum emitted level. */
+LogLevel logLevel();
+
+/** Emits @p msg to stderr if @p level is at or above the threshold. */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** Terminates after reporting an internal invariant violation (a bug). */
+[[noreturn]] void panic(const std::string &msg, const char *file, int line);
+
+/** Terminates after reporting a user/configuration error. */
+[[noreturn]] void fatal(const std::string &msg);
+
+} // namespace repro::util
+
+/** Logs at Info level with stream syntax: REPRO_LOG_INFO("x=" << x). */
+#define REPRO_LOG_INFO(expr)                                                 \
+    do {                                                                     \
+        std::ostringstream repro_log_ss;                                     \
+        repro_log_ss << expr;                                                \
+        ::repro::util::logMessage(::repro::util::LogLevel::Info,             \
+                                  repro_log_ss.str());                       \
+    } while (0)
+
+/** Logs at Warn level with stream syntax. */
+#define REPRO_LOG_WARN(expr)                                                 \
+    do {                                                                     \
+        std::ostringstream repro_log_ss;                                     \
+        repro_log_ss << expr;                                                \
+        ::repro::util::logMessage(::repro::util::LogLevel::Warn,             \
+                                  repro_log_ss.str());                       \
+    } while (0)
+
+/** Checks an internal invariant; aborts with context on failure. */
+#define REPRO_ASSERT(cond, msg)                                              \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::repro::util::panic(std::string("assertion failed: ") + #cond + \
+                                     " — " + (msg),                          \
+                                 __FILE__, __LINE__);                        \
+        }                                                                    \
+    } while (0)
+
+#endif // REPRO_UTIL_LOG_H

@@ -1,0 +1,139 @@
+#include "util/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/log.h"
+
+namespace repro::util {
+
+void
+OnlineStats::add(double x)
+{
+    ++n;
+    total += x;
+    const double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+}
+
+double
+OnlineStats::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n - 1);
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+OnlineStats::merge(const OnlineStats &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mu - mu;
+    const std::size_t combined = n + other.n;
+    const double nf = static_cast<double>(n);
+    const double of = static_cast<double>(other.n);
+    const double cf = static_cast<double>(combined);
+    m2 += other.m2 + delta * delta * nf * of / cf;
+    mu += delta * of / cf;
+    n = combined;
+    total += other.total;
+    lo = std::min(lo, other.lo);
+    hi = std::max(hi, other.hi);
+}
+
+double
+median(std::vector<double> xs)
+{
+    REPRO_ASSERT(!xs.empty(), "median of empty sample");
+    std::sort(xs.begin(), xs.end());
+    const std::size_t n = xs.size();
+    if (n % 2 == 1)
+        return xs[n / 2];
+    return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    REPRO_ASSERT(!xs.empty(), "percentile of empty sample");
+    REPRO_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1)
+        return xs[0];
+    const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    const std::size_t lo_idx = static_cast<std::size_t>(std::floor(rank));
+    const std::size_t hi_idx = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo_idx);
+    return xs[lo_idx] * (1.0 - frac) + xs[hi_idx] * frac;
+}
+
+double
+fractionWithinOfMedian(const std::vector<double> &xs, double tol)
+{
+    REPRO_ASSERT(!xs.empty(), "fractionWithinOfMedian of empty sample");
+    const double med = median(xs);
+    const double band = std::abs(med) * tol;
+    std::size_t inside = 0;
+    for (double x : xs) {
+        if (std::abs(x - med) <= band)
+            ++inside;
+    }
+    return static_cast<double>(inside) / static_cast<double>(xs.size());
+}
+
+double
+confidenceHalfWidth95(const OnlineStats &stats)
+{
+    if (stats.count() < 2)
+        return 0.0;
+    return 1.96 * stats.stddev() /
+           std::sqrt(static_cast<double>(stats.count()));
+}
+
+ConvergenceRunner::ConvergenceRunner(double required_fraction,
+                                     double tolerance, std::size_t min_runs,
+                                     std::size_t max_runs)
+    : requiredFraction(required_fraction), tolerance(tolerance),
+      minRuns(std::max<std::size_t>(min_runs, 1)), maxRuns(max_runs)
+{
+    if (max_runs < minRuns)
+        fatal("ConvergenceRunner: max_runs < min_runs");
+}
+
+ConvergenceRunner::Result
+ConvergenceRunner::run(const std::function<double()> &measure) const
+{
+    Result result;
+    while (result.samples.size() < maxRuns) {
+        result.samples.push_back(measure());
+        if (result.samples.size() < minRuns)
+            continue;
+        if (fractionWithinOfMedian(result.samples, tolerance) >=
+            requiredFraction) {
+            result.converged = true;
+            break;
+        }
+    }
+    result.median = median(result.samples);
+    result.mean =
+        std::accumulate(result.samples.begin(), result.samples.end(), 0.0) /
+        static_cast<double>(result.samples.size());
+    return result;
+}
+
+} // namespace repro::util

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Descriptive statistics and the paper's measurement-convergence rule.
+ *
+ * Section IV-B of the paper: "Each data point we show is an average of
+ * repeated runs. We evaluate the relevant configuration as many times as
+ * necessary to achieve a tight confidence interval where 95% of the
+ * measurements are within 5% of the median."  ConvergenceRunner implements
+ * exactly that stopping rule.
+ */
+
+#ifndef REPRO_UTIL_STATISTICS_H
+#define REPRO_UTIL_STATISTICS_H
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace repro::util {
+
+/**
+ * Single-pass running mean/variance/min/max (Welford's algorithm).
+ */
+class OnlineStats
+{
+  public:
+    /** Adds one observation. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return n; }
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return n ? mu : 0.0; }
+    /** Unbiased sample variance; 0 for fewer than 2 observations. */
+    double variance() const;
+    /** Sample standard deviation. */
+    double stddev() const;
+    /** Smallest observation; +inf when empty. */
+    double min() const { return lo; }
+    /** Largest observation; -inf when empty. */
+    double max() const { return hi; }
+    /** Sum of all observations. */
+    double sum() const { return total; }
+
+    /** Merges another accumulator into this one (parallel Welford). */
+    void merge(const OnlineStats &other);
+
+  private:
+    std::size_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = 1.0 / 0.0;
+    double hi = -1.0 / 0.0;
+    double total = 0.0;
+};
+
+/** Median of @p xs (averages the middle pair for even sizes). */
+double median(std::vector<double> xs);
+
+/**
+ * Linear-interpolation percentile.
+ *
+ * @param xs Samples (copied and sorted internally).
+ * @param p Percentile in [0, 100].
+ */
+double percentile(std::vector<double> xs, double p);
+
+/**
+ * Fraction of samples within @p tol relative distance of the median.
+ *
+ * This is the quantity the paper's convergence rule bounds: a
+ * configuration has converged when fractionWithinOfMedian(xs, 0.05)
+ * >= 0.95.
+ */
+double fractionWithinOfMedian(const std::vector<double> &xs, double tol);
+
+/** Half-width of the normal-approximation 95% confidence interval. */
+double confidenceHalfWidth95(const OnlineStats &stats);
+
+/**
+ * Repeats a measurement until the paper's §IV-B criterion holds.
+ */
+class ConvergenceRunner
+{
+  public:
+    /** Result of a converged measurement campaign. */
+    struct Result
+    {
+        std::vector<double> samples; //!< Every collected measurement.
+        double median = 0.0;         //!< Median of the samples.
+        double mean = 0.0;           //!< Mean of the samples.
+        bool converged = false;      //!< Whether the criterion was met.
+    };
+
+    /**
+     * @param required_fraction Fraction of samples that must be close to
+     *        the median (paper: 0.95).
+     * @param tolerance Relative closeness threshold (paper: 0.05).
+     * @param min_runs Floor on the number of repetitions.
+     * @param max_runs Safety cap; Result::converged is false if hit.
+     */
+    ConvergenceRunner(double required_fraction = 0.95,
+                      double tolerance = 0.05, std::size_t min_runs = 3,
+                      std::size_t max_runs = 1000);
+
+    /** Runs @p measure repeatedly until the stopping rule triggers. */
+    Result run(const std::function<double()> &measure) const;
+
+  private:
+    double requiredFraction;
+    double tolerance;
+    std::size_t minRuns;
+    std::size_t maxRuns;
+};
+
+} // namespace repro::util
+
+#endif // REPRO_UTIL_STATISTICS_H

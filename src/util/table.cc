@@ -1,0 +1,121 @@
+#include "util/table.h"
+
+#include <cmath>
+#include <algorithm>
+#include <cstdio>
+
+#include "util/log.h"
+
+namespace repro::util {
+
+std::string
+formatDouble(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+formatPercent(double fraction, int decimals)
+{
+    return formatDouble(fraction * 100.0, decimals) + "%";
+}
+
+std::string
+formatBytes(std::size_t bytes)
+{
+    if (bytes >= 1000 * 1000) {
+        const double mb = static_cast<double>(bytes) / 1e6;
+        const double rounded = std::round(mb * 10.0) / 10.0;
+        const bool integral = rounded == std::round(rounded);
+        return formatDouble(rounded, integral ? 0 : 1) + " MB";
+    }
+    if (bytes >= 1000) {
+        const std::size_t kb =
+            (bytes + 500) / 1000; // Nearest decimal kilobyte.
+        return std::to_string(kb) + " KB";
+    }
+    return std::to_string(bytes) + " B";
+}
+
+Table::Table(std::vector<std::string> column_names)
+    : header(std::move(column_names))
+{
+    REPRO_ASSERT(!header.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    REPRO_ASSERT(cells.size() == header.size(),
+                 "row width does not match header");
+    cells_.push_back(std::move(cells));
+}
+
+void
+Table::addRow(std::initializer_list<std::string> cells)
+{
+    addRow(std::vector<std::string>(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : cells_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        os << "\n";
+    };
+
+    emit_row(header);
+    std::size_t rule = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(rule, '-') << "\n";
+    for (const auto &row : cells_)
+        emit_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit_cell = [&](const std::string &cell) {
+        if (cell.find(',') != std::string::npos ||
+            cell.find('"') != std::string::npos) {
+            os << '"';
+            for (char ch : cell) {
+                if (ch == '"')
+                    os << '"';
+                os << ch;
+            }
+            os << '"';
+        } else {
+            os << cell;
+        }
+    };
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            emit_cell(row[c]);
+            if (c + 1 < row.size())
+                os << ',';
+        }
+        os << "\n";
+    };
+    emit_row(header);
+    for (const auto &row : cells_)
+        emit_row(row);
+}
+
+} // namespace repro::util

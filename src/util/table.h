@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Console table and CSV rendering for benchmark harnesses.
+ *
+ * Every bench binary in bench/ regenerates one table or figure of the
+ * paper; Table gives them a uniform, aligned plain-text rendering plus a
+ * CSV form that downstream plotting can consume.
+ */
+
+#ifndef REPRO_UTIL_TABLE_H
+#define REPRO_UTIL_TABLE_H
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace repro::util {
+
+/** Formats @p value with @p decimals digits after the point. */
+std::string formatDouble(double value, int decimals);
+
+/** Formats @p value as a percentage string like "42.3%". */
+std::string formatPercent(double fraction, int decimals = 1);
+
+/** Formats a byte count with a unit suffix (B, KB, MB). */
+std::string formatBytes(std::size_t bytes);
+
+/**
+ * A rectangular table with a header row, rendered aligned or as CSV.
+ */
+class Table
+{
+  public:
+    /** @param column_names Header cells; fixes the column count. */
+    explicit Table(std::vector<std::string> column_names);
+
+    /** Appends a row.  @pre cells.size() == column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience overload for brace-enclosed rows. */
+    void addRow(std::initializer_list<std::string> cells);
+
+    /** Number of data rows. */
+    std::size_t rows() const { return cells_.size(); }
+    /** Number of columns. */
+    std::size_t columns() const { return header.size(); }
+
+    /** Renders with space-padded alignment and a rule under the header. */
+    void print(std::ostream &os) const;
+
+    /** Renders as RFC-4180-ish CSV (quotes cells containing commas). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> cells_;
+};
+
+} // namespace repro::util
+
+#endif // REPRO_UTIL_TABLE_H

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * bodytrack: articulated-body particle-filter tracking (PARSEC
+ * bodytrack re-impl).
+ *
+ * The kernel tracks a 10-joint synthetic body through a frame stream
+ * with a particle filter.  The state dependence is the particle set
+ * (the paper's driving example, §II-A): guesses for frame i are
+ * distributed around the pose found in frame i-1, so every frame's
+ * computation consumes the previous frame's state — the 500 KB state of
+ * Table I.  The short-memory property: where the body is at frame i
+ * does not depend on where it was many frames ago, so an alternative
+ * producer can re-acquire the pose from a cold (observation-seeded)
+ * start within a few frames.
+ *
+ * Nondeterminism: particle propagation and resampling draws.
+ */
+
+#ifndef REPRO_WORKLOADS_BODYTRACK_H
+#define REPRO_WORKLOADS_BODYTRACK_H
+
+#include <vector>
+
+#include "core/state_model.h"
+#include "workloads/common.h"
+#include "workloads/particle_filter.h"
+#include "workloads/workload.h"
+
+namespace repro::workloads {
+
+/** Tunable shape of the bodytrack kernel. */
+struct BodytrackParams
+{
+    std::size_t frames = 120;   //!< Image-stream length.
+    unsigned joints = 10;       //!< Body joints (20-dim pose).
+    unsigned particles = 3000;  //!< ~500 KB particle state (Table I).
+    double arena = 100.0;       //!< Image-space side length.
+    double trajectoryAmplitude = 18.0; //!< Body-motion amplitude.
+    double walkSigma = 0.35;    //!< Ground-truth random-walk step.
+    double obsNoise = 1.0;      //!< Joint-measurement noise.
+    double seedSpread = 5.0;    //!< Spread when seeding from an image.
+    double propagateSigma = 1.2; //!< Particle motion model.
+    double likelihoodSigma = 1.5; //!< Observation-model width.
+    double matchTolerance = 1.8; //!< Mean joint-estimate acceptance.
+    std::uint64_t opsPerParticleJoint = 3; //!< Modeled ops scale.
+    std::uint64_t dataSeed = 0xB0D7;
+};
+
+/** Particle set + seeding flag: the bodytrack state. */
+struct BodytrackState : core::TypedState<BodytrackState>
+{
+    BodytrackState(unsigned particles, unsigned dims)
+        : cloud(particles, dims)
+    {
+    }
+
+    ParticleCloud cloud;
+    bool seeded = false; //!< False until guesses were distributed.
+};
+
+/** The state dependence of bodytrack. */
+class BodytrackModel : public core::IStateModel
+{
+  public:
+    /**
+     * @param truth Ground-truth joint positions (frames x joints).
+     * @param obs Noisy observations (frames x joints).  Both owned by
+     *        the caller (the workload) and outliving the model.
+     */
+    BodytrackModel(BodytrackParams params,
+                   const std::vector<Point2> *truth,
+                   const std::vector<Point2> *obs);
+
+    std::string name() const override { return "bodytrack"; }
+    std::size_t numInputs() const override { return p.frames; }
+    core::StateHandle initialState() const override;
+    core::StateHandle coldState() const override;
+    double update(core::State &state, std::size_t input,
+                  core::ExecContext &ctx) const override;
+    bool matches(const core::State &spec,
+                 const core::State &orig) const override;
+    std::size_t stateSizeBytes() const override;
+
+    /** Mean per-joint estimate distance between two states. */
+    double estimateDistance(const BodytrackState &a,
+                            const BodytrackState &b) const;
+
+    const BodytrackParams &params() const { return p; }
+
+  private:
+    BodytrackParams p;
+    const std::vector<Point2> *truth_;
+    const std::vector<Point2> *obs_;
+};
+
+/** The bodytrack benchmark. */
+class BodytrackWorkload : public Workload
+{
+  public:
+    explicit BodytrackWorkload(double scale = 1.0);
+
+    std::string name() const override { return "bodytrack"; }
+    const core::IStateModel &model() const override { return *model_; }
+    core::RegionProfile region() const override;
+    core::TlpModel tlpModel() const override;
+    core::StatsConfig tunedConfig(unsigned cores) const override;
+    double quality(const std::vector<double> &outputs) const override;
+    perfmodel::AccessProfile accessProfile() const override;
+
+  private:
+    BodytrackParams params_;
+    std::vector<Point2> truth_;
+    std::vector<Point2> obs_;
+    std::unique_ptr<BodytrackModel> model_;
+};
+
+} // namespace repro::workloads
+
+#endif // REPRO_WORKLOADS_BODYTRACK_H

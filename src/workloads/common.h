@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared math and synthetic-data helpers for the workload kernels.
+ */
+
+#ifndef REPRO_WORKLOADS_COMMON_H
+#define REPRO_WORKLOADS_COMMON_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace repro::workloads {
+
+/** 2-D point. */
+struct Point2
+{
+    double x = 0.0;
+    double y = 0.0;
+};
+
+/** Euclidean distance between two points. */
+double distance(const Point2 &a, const Point2 &b);
+
+/** Squared Euclidean distance. */
+double distanceSq(const Point2 &a, const Point2 &b);
+
+/** Standard normal CDF (for Black's formula). */
+double normalCdf(double x);
+
+/**
+ * Black (1976) price of a European payer swaption on a lognormal
+ * forward swap rate.
+ *
+ * @param forward Forward swap rate.
+ * @param strike Fixed strike rate.
+ * @param vol Lognormal volatility.
+ * @param expiry Option expiry in years.
+ * @param annuity Present value of a basis point x notional.
+ */
+double blackSwaptionPrice(double forward, double strike, double vol,
+                          double expiry, double annuity);
+
+/**
+ * Deterministic smooth 1-D trajectory: a sum of incommensurate
+ * sinusoids, phase-shifted by @p channel.  Used as ground truth for the
+ * tracking workloads (trajectories are input data: identical across
+ * runs, independent of the run seed).
+ */
+double smoothTrajectory(double t, unsigned channel, double amplitude);
+
+/**
+ * Positions of @p clusters slowly drifting cluster centers at batch
+ * @p t — the data distribution of the stream workloads.
+ */
+std::vector<Point2> driftingCenters(double t, unsigned clusters,
+                                    double arena, double drift_amplitude);
+
+/**
+ * Greedy minimum-distance matching cost between two equal-size center
+ * sets (used by stream-workload matches() checks and quality metrics).
+ */
+double greedyMatchCost(const std::vector<Point2> &a,
+                       const std::vector<Point2> &b);
+
+} // namespace repro::workloads
+
+#endif // REPRO_WORKLOADS_COMMON_H

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * facedet-and-track: detector-plus-particle-filter hybrid tracking
+ * (the paper's new benchmark, §IV-C: "uses a particle filter to track a
+ * person's face only when the OpenCV face detection API fails").
+ *
+ * Per frame, a cheap face detector either fires (the common case) — the
+ * particle set is re-seeded around the detection — or fails (occlusion
+ * bursts), and an expensive particle-filter step tracks through the
+ * occlusion using a weak appearance cue.  The state dependence is the
+ * particle set (8 KB, Table I).  The bimodal per-frame cost (cheap
+ * detection vs. expensive filtering) makes chunk computation imbalanced,
+ * and the detector/filter hand-offs make the benchmark the most
+ * synchronization-hungry of the suite (Fig. 10).
+ */
+
+#ifndef REPRO_WORKLOADS_FACEDET_TRACK_H
+#define REPRO_WORKLOADS_FACEDET_TRACK_H
+
+#include <vector>
+
+#include "core/state_model.h"
+#include "workloads/common.h"
+#include "workloads/particle_filter.h"
+#include "workloads/workload.h"
+
+namespace repro::workloads {
+
+/** Tunable shape of the facedet-and-track kernel. */
+struct FacedetTrackParams
+{
+    std::size_t frames = 1050;  //!< Longer video (§IV-C).
+    unsigned particles = 250;   //!< 8 KB state.
+    double arena = 100.0;
+    double trajectoryAmplitude = 20.0;
+    double walkSigma = 0.3;
+    double detectionNoise = 0.8;  //!< Detector accuracy when it fires.
+    double weakObsNoise = 5.0;    //!< Appearance cue during occlusion.
+    double occlusionFraction = 0.20;
+    unsigned occlusionBurstLength = 6;
+    double seedSpread = 3.0;
+    double propagateSigma = 1.0;
+    double likelihoodSigma = 4.0;
+    double matchTolerance = 4.0;
+    std::uint64_t opsDetectFrame = 9000;  //!< Modeled detector cost.
+    std::uint64_t opsTrackFrame = 30000;  //!< Modeled filter cost.
+    std::uint64_t dataSeed = 0xDE7EC7;
+};
+
+/** Particle set + seeding flag. */
+struct FacedetTrackState : core::TypedState<FacedetTrackState>
+{
+    explicit FacedetTrackState(unsigned particles) : cloud(particles, 3)
+    {
+    }
+
+    ParticleCloud cloud;
+    bool seeded = false;
+};
+
+/** The state dependence of facedet-and-track. */
+class FacedetTrackModel : public core::IStateModel
+{
+  public:
+    /**
+     * @param truth Ground-truth box (x, y, scale) per frame.
+     * @param obs Measurement per frame: detection when visible, weak
+     *        appearance cue when occluded.
+     * @param occluded Per-frame occlusion flags.
+     */
+    FacedetTrackModel(FacedetTrackParams params,
+                      const std::vector<double> *truth,
+                      const std::vector<double> *obs,
+                      const std::vector<bool> *occluded);
+
+    std::string name() const override { return "facedet-and-track"; }
+    std::size_t numInputs() const override { return p.frames; }
+    core::StateHandle initialState() const override;
+    core::StateHandle coldState() const override;
+    double update(core::State &state, std::size_t input,
+                  core::ExecContext &ctx) const override;
+    bool matches(const core::State &spec,
+                 const core::State &orig) const override;
+    std::size_t stateSizeBytes() const override;
+
+    const FacedetTrackParams &params() const { return p; }
+
+  private:
+    FacedetTrackParams p;
+    const std::vector<double> *truth_;
+    const std::vector<double> *obs_;
+    const std::vector<bool> *occluded_;
+};
+
+/** The facedet-and-track benchmark. */
+class FacedetTrackWorkload : public Workload
+{
+  public:
+    explicit FacedetTrackWorkload(double scale = 1.0);
+
+    std::string name() const override { return "facedet-and-track"; }
+    const core::IStateModel &model() const override { return *model_; }
+    core::RegionProfile region() const override;
+    core::TlpModel tlpModel() const override;
+    core::StatsConfig tunedConfig(unsigned cores) const override;
+    double quality(const std::vector<double> &outputs) const override;
+    perfmodel::AccessProfile accessProfile() const override;
+
+    /** Per-frame occlusion flags (for tests). */
+    const std::vector<bool> &occludedFrames() const { return occluded_; }
+
+  private:
+    FacedetTrackParams params_;
+    std::vector<double> truth_;
+    std::vector<double> obs_;
+    std::vector<bool> occluded_;
+    std::unique_ptr<FacedetTrackModel> model_;
+};
+
+} // namespace repro::workloads
+
+#endif // REPRO_WORKLOADS_FACEDET_TRACK_H

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * facetrack: face-box particle-filter tracking (the paper's OpenCV 3.2
+ * facetrack substitute, re-implemented without OpenCV).
+ *
+ * The kernel tracks a face bounding box (x, y, scale) through a 600
+ * frame video of a person moving in front of a camera (§IV-C).  The
+ * state dependence is the particle set over box hypotheses (8 KB,
+ * Table I).  The video contains *ambiguous bursts* — frames where the
+ * apparent face measurement sits on a decoy (a face-like background
+ * region): a tracker with history coasts through them on its motion
+ * model, but a cold start inside a burst locks onto the decoy and needs
+ * the burst to end (plus re-acquisition) to recover.  That gives
+ * facetrack a long effective memory, which is why the autotuner keeps
+ * the chunk count low (the paper: 7 chunks to avoid mispeculation) —
+ * more chunks mean more boundaries landing inside bursts and aborting.
+ */
+
+#ifndef REPRO_WORKLOADS_FACETRACK_H
+#define REPRO_WORKLOADS_FACETRACK_H
+
+#include <vector>
+
+#include "core/state_model.h"
+#include "workloads/common.h"
+#include "workloads/particle_filter.h"
+#include "workloads/workload.h"
+
+namespace repro::workloads {
+
+/** Tunable shape of the facetrack kernel. */
+struct FacetrackParams
+{
+    std::size_t frames = 600;
+    unsigned particles = 250;   //!< 8 KB state (Table I).
+    double arena = 100.0;
+    double trajectoryAmplitude = 22.0;
+    double walkSigma = 0.3;
+    double obsNoise = 1.2;
+    double decoyFraction = 0.30;   //!< Frames inside ambiguous bursts.
+    unsigned decoyBurstLength = 12; //!< Mean burst length.
+    double seedSpread = 4.0;
+    double propagateSigma = 0.9;
+    double scalePropagateSigma = 0.02;
+    double likelihoodSigma = 2.5;
+    double lostLogLikelihood = -8.0; //!< Below this: tracking lost.
+    unsigned lostFramesToReseed = 3;
+    double matchTolerance = 3.0;
+    std::uint64_t opsPerParticle = 60;
+    std::uint64_t dataSeed = 0xFACE7;
+};
+
+/** Face-box hypothesis set + lock bookkeeping. */
+struct FacetrackState : core::TypedState<FacetrackState>
+{
+    explicit FacetrackState(unsigned particles) : cloud(particles, 3) {}
+
+    ParticleCloud cloud; //!< (x, y, scale) per particle.
+    bool seeded = false;
+    unsigned lostCount = 0;
+};
+
+/** The state dependence of facetrack. */
+class FacetrackModel : public core::IStateModel
+{
+  public:
+    /**
+     * @param truth Ground-truth box (x, y, scale) per frame.
+     * @param obs Apparent measurement per frame (decoy in bursts).
+     */
+    FacetrackModel(FacetrackParams params,
+                   const std::vector<double> *truth,
+                   const std::vector<double> *obs);
+
+    std::string name() const override { return "facetrack"; }
+    std::size_t numInputs() const override { return p.frames; }
+    core::StateHandle initialState() const override;
+    core::StateHandle coldState() const override;
+    double update(core::State &state, std::size_t input,
+                  core::ExecContext &ctx) const override;
+    bool matches(const core::State &spec,
+                 const core::State &orig) const override;
+    std::size_t stateSizeBytes() const override;
+
+    const FacetrackParams &params() const { return p; }
+
+  private:
+    FacetrackParams p;
+    const std::vector<double> *truth_; //!< frames x 3.
+    const std::vector<double> *obs_;   //!< frames x 3.
+};
+
+/** The facetrack benchmark. */
+class FacetrackWorkload : public Workload
+{
+  public:
+    explicit FacetrackWorkload(double scale = 1.0);
+
+    std::string name() const override { return "facetrack"; }
+    const core::IStateModel &model() const override { return *model_; }
+    core::RegionProfile region() const override;
+    core::TlpModel tlpModel() const override;
+    core::StatsConfig tunedConfig(unsigned cores) const override;
+    double quality(const std::vector<double> &outputs) const override;
+    perfmodel::AccessProfile accessProfile() const override;
+
+    /** Frames flagged as ambiguous (for tests). */
+    const std::vector<bool> &decoyFrames() const { return decoy_; }
+
+  private:
+    FacetrackParams params_;
+    std::vector<double> truth_;
+    std::vector<double> obs_;
+    std::vector<bool> decoy_;
+    std::unique_ptr<FacetrackModel> model_;
+};
+
+} // namespace repro::workloads
+
+#endif // REPRO_WORKLOADS_FACETRACK_H

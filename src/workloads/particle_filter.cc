@@ -1,0 +1,127 @@
+#include "workloads/particle_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.h"
+
+namespace repro::workloads {
+
+ParticleCloud::ParticleCloud(unsigned particles, unsigned dims)
+    : numParticles(particles), numDims(dims),
+      coords(static_cast<std::size_t>(particles) * dims, 0.0),
+      weights(particles, 1.0 / std::max(1u, particles))
+{
+    REPRO_ASSERT(particles > 0 && dims > 0,
+                 "particle cloud needs particles and dims");
+}
+
+double
+ParticleCloud::coord(unsigned p, unsigned d) const
+{
+    return coords[static_cast<std::size_t>(p) * numDims + d];
+}
+
+double &
+ParticleCloud::coord(unsigned p, unsigned d)
+{
+    return coords[static_cast<std::size_t>(p) * numDims + d];
+}
+
+void
+ParticleCloud::spreadUniform(double lo, double hi)
+{
+    // Deterministic low-discrepancy spread (Weyl sequence per dim).
+    const double span = hi - lo;
+    for (unsigned p = 0; p < numParticles; ++p) {
+        for (unsigned d = 0; d < numDims; ++d) {
+            const double frac = std::fmod(
+                0.5 + static_cast<double>(p) * 0.6180339887498949 +
+                    static_cast<double>(d) * 0.3247179572447458,
+                1.0);
+            coord(p, d) = lo + span * frac;
+        }
+    }
+    std::fill(weights.begin(), weights.end(),
+              1.0 / static_cast<double>(numParticles));
+}
+
+void
+ParticleCloud::collapseTo(const std::vector<double> &center)
+{
+    REPRO_ASSERT(center.size() == numDims,
+                 "collapse center has wrong dimensionality");
+    for (unsigned p = 0; p < numParticles; ++p) {
+        for (unsigned d = 0; d < numDims; ++d)
+            coord(p, d) = center[d];
+    }
+    std::fill(weights.begin(), weights.end(),
+              1.0 / static_cast<double>(numParticles));
+}
+
+void
+ParticleCloud::propagate(util::Rng &rng, double sigma)
+{
+    for (double &c : coords)
+        c += rng.gaussian(0.0, sigma);
+}
+
+void
+ParticleCloud::weigh(const std::function<double(unsigned)> &log_likelihood,
+                     double floor)
+{
+    std::vector<double> logw(numParticles);
+    double max_logw = -1e300;
+    for (unsigned p = 0; p < numParticles; ++p) {
+        logw[p] = log_likelihood(p);
+        max_logw = std::max(max_logw, logw[p]);
+    }
+    double total = 0.0;
+    for (unsigned p = 0; p < numParticles; ++p) {
+        weights[p] = std::exp(logw[p] - max_logw) + floor;
+        total += weights[p];
+    }
+    for (double &w : weights)
+        w /= total;
+}
+
+void
+ParticleCloud::resample(util::Rng &rng)
+{
+    const double step = 1.0 / static_cast<double>(numParticles);
+    double u = rng.uniform() * step;
+    std::vector<double> new_coords(coords.size());
+    double cum = weights[0];
+    unsigned src = 0;
+    for (unsigned p = 0; p < numParticles; ++p) {
+        while (cum < u && src + 1 < numParticles) {
+            ++src;
+            cum += weights[src];
+        }
+        for (unsigned d = 0; d < numDims; ++d) {
+            new_coords[static_cast<std::size_t>(p) * numDims + d] =
+                coord(src, d);
+        }
+        u += step;
+    }
+    coords = std::move(new_coords);
+    std::fill(weights.begin(), weights.end(), step);
+}
+
+double
+ParticleCloud::mean(unsigned d) const
+{
+    double m = 0.0;
+    for (unsigned p = 0; p < numParticles; ++p)
+        m += weights[p] * coord(p, d);
+    return m;
+}
+
+std::size_t
+ParticleCloud::sizeBytes() const
+{
+    return static_cast<std::size_t>(numParticles) *
+           (static_cast<std::size_t>(numDims) * 8 + 8);
+}
+
+} // namespace repro::workloads

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Particle-cloud primitive shared by the tracking workloads.
+ *
+ * bodytrack, facetrack, and facedet-and-track are particle filters over
+ * different state spaces (articulated body joints; a face box; a face
+ * box behind a detector).  ParticleCloud provides the common machinery:
+ * flat particle storage (the bytes counted in Table I), propagation,
+ * weighting, systematic resampling, and the weighted-mean estimate.
+ */
+
+#ifndef REPRO_WORKLOADS_PARTICLE_FILTER_H
+#define REPRO_WORKLOADS_PARTICLE_FILTER_H
+
+#include <functional>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace repro::workloads {
+
+/**
+ * A set of weighted particles in a D-dimensional state space.
+ */
+class ParticleCloud
+{
+  public:
+    /** Creates @p particles particles of @p dims dimensions at zero. */
+    ParticleCloud(unsigned particles, unsigned dims);
+
+    /** Particle count. */
+    unsigned particles() const { return numParticles; }
+    /** State-space dimensionality. */
+    unsigned dims() const { return numDims; }
+
+    /** Coordinate @p d of particle @p p. */
+    double coord(unsigned p, unsigned d) const;
+    /** Mutable coordinate access. */
+    double &coord(unsigned p, unsigned d);
+
+    /** Weight of particle @p p (normalized after weigh()). */
+    double weight(unsigned p) const { return weights[p]; }
+
+    /**
+     * Deterministic stratified spread over [lo, hi] per dimension — the
+     * cold start of an alternative producer (no RNG: cold states must
+     * be identical across runs).
+     */
+    void spreadUniform(double lo, double hi);
+
+    /** Collapses every particle onto @p center (dims() values) and
+     *  resets weights — the informed initial state. */
+    void collapseTo(const std::vector<double> &center);
+
+    /** Adds Gaussian jitter of @p sigma to every coordinate. */
+    void propagate(util::Rng &rng, double sigma);
+
+    /**
+     * Computes normalized weights from a per-particle log-likelihood.
+     * Uses the max-shift trick for numerical stability and mixes in a
+     * uniform floor so the cloud survives outlier observations.
+     *
+     * @param log_likelihood Maps particle index to log p(obs | particle).
+     * @param floor Uniform mixture weight in [0, 1).
+     */
+    void weigh(const std::function<double(unsigned)> &log_likelihood,
+               double floor = 1e-3);
+
+    /** Systematic (low-variance) resampling using one uniform draw. */
+    void resample(util::Rng &rng);
+
+    /** Weighted mean of dimension @p d. */
+    double mean(unsigned d) const;
+
+    /** Bytes of particle storage: particles x (dims x 8 + 8). */
+    std::size_t sizeBytes() const;
+
+  private:
+    unsigned numParticles;
+    unsigned numDims;
+    std::vector<double> coords;  //!< particles x dims, row-major.
+    std::vector<double> weights; //!< Normalized after weigh().
+};
+
+} // namespace repro::workloads
+
+#endif // REPRO_WORKLOADS_PARTICLE_FILTER_H

@@ -1,0 +1,221 @@
+#include "workloads/streamcluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.h"
+
+namespace repro::workloads {
+
+StreamclusterModel::StreamclusterModel(StreamclusterParams params,
+                                       const std::vector<Point2> *points)
+    : p(params), points_(points)
+{
+    REPRO_ASSERT(points_ != nullptr, "streamcluster needs an input stream");
+    REPRO_ASSERT(points_->size() >= p.inputs * p.pointsPerInput,
+                 "input stream shorter than inputs x batch size");
+}
+
+core::StateHandle
+StreamclusterModel::gridState() const
+{
+    auto s = std::make_unique<StreamclusterState>();
+    s->centers = driftingCenters(0.0, p.clusters, p.arena, 0.0);
+    s->weights.assign(p.clusters, 1.0);
+    return s;
+}
+
+core::StateHandle
+StreamclusterModel::initialState() const
+{
+    return gridState();
+}
+
+core::StateHandle
+StreamclusterModel::coldState() const
+{
+    return gridState();
+}
+
+double
+StreamclusterModel::update(core::State &state, std::size_t input,
+                           core::ExecContext &ctx) const
+{
+    auto &s = static_cast<StreamclusterState &>(state);
+    const Point2 *batch = points_->data() + input * p.pointsPerInput;
+    const unsigned k = p.clusters;
+
+    std::vector<Point2> sums(k);
+    std::vector<double> counts(k, 0.0);
+    double batch_cost = 0.0;
+
+    // Assignment pass: nearest facility per point; a random subsample
+    // contributes to the centroid pull (the algorithm's sampling).
+    for (unsigned j = 0; j < p.pointsPerInput; ++j) {
+        const Point2 &pt = batch[j];
+        unsigned best = 0;
+        double best_d = distanceSq(pt, s.centers[0]);
+        for (unsigned c = 1; c < k; ++c) {
+            const double d = distanceSq(pt, s.centers[c]);
+            if (d < best_d) {
+                best_d = d;
+                best = c;
+            }
+        }
+        batch_cost += std::sqrt(best_d);
+        if (ctx.rng().bernoulli(p.includeProbability)) {
+            sums[best].x += pt.x;
+            sums[best].y += pt.y;
+            counts[best] += 1.0;
+        }
+    }
+    ctx.tick(static_cast<std::uint64_t>(p.pointsPerInput) *
+             p.opsPerPointAssign);
+
+    // Weighted refinement: a heavy facility moves slowly toward the
+    // batch centroid, so stale (heavy) states iterate more.
+    for (unsigned c = 0; c < k; ++c) {
+        if (counts[c] <= 0.0)
+            continue;
+        const Point2 centroid{sums[c].x / counts[c],
+                              sums[c].y / counts[c]};
+        const double bw = counts[c];
+        unsigned iters = 0;
+        while (distance(s.centers[c], centroid) > p.convergeEps &&
+               iters < p.maxRefineIters) {
+            const double f = bw / (s.weights[c] + bw);
+            s.centers[c].x += f * (centroid.x - s.centers[c].x);
+            s.centers[c].y += f * (centroid.y - s.centers[c].y);
+            ctx.tick(static_cast<std::uint64_t>(p.pointsPerInput) *
+                     p.opsPerPointRefine);
+            ++iters;
+        }
+        s.weights[c] = std::min(s.weights[c] + bw, p.maxWeight);
+    }
+
+    // Randomized facility reopening: the victim facility moves half
+    // way toward a random point and sheds most of its weight (it then
+    // re-converges within a couple of batches).
+    if (ctx.rng().bernoulli(p.reopenProbability)) {
+        const unsigned victim =
+            static_cast<unsigned>(ctx.rng().uniformInt(k));
+        const unsigned pick = static_cast<unsigned>(
+            ctx.rng().uniformInt(p.pointsPerInput));
+        s.centers[victim].x +=
+            0.5 * (batch[pick].x - s.centers[victim].x);
+        s.centers[victim].y +=
+            0.5 * (batch[pick].y - s.centers[victim].y);
+        s.weights[victim] *= 0.25;
+    }
+
+    return batch_cost / static_cast<double>(p.pointsPerInput);
+}
+
+bool
+StreamclusterModel::matches(const core::State &spec,
+                            const core::State &orig) const
+{
+    const auto &a = static_cast<const StreamclusterState &>(spec);
+    const auto &b = static_cast<const StreamclusterState &>(orig);
+    return greedyMatchCost(a.centers, b.centers) <= p.matchTolerance;
+}
+
+StreamclusterWorkload::StreamclusterWorkload(double scale)
+{
+    params_ = StreamclusterParams{};
+    params_.inputs = std::max<std::size_t>(
+        static_cast<std::size_t>(4480 * scale), 320);
+
+    // The input stream is data: generated once from the fixed data
+    // seed, identical for every run and execution mode.
+    util::Rng data_rng(params_.dataSeed);
+    points_.resize(params_.inputs * params_.pointsPerInput);
+    for (std::size_t i = 0; i < params_.inputs; ++i) {
+        const auto centers =
+            driftingCenters(static_cast<double>(i), params_.clusters,
+                            params_.arena, params_.driftAmplitude);
+        for (unsigned j = 0; j < params_.pointsPerInput; ++j) {
+            const unsigned c = static_cast<unsigned>(
+                data_rng.uniformInt(params_.clusters));
+            // Spread varies over the stream: busy (wide) periods need
+            // more refinement, creating computation imbalance between
+            // chunks (paper Fig. 10: streamcluster is imbalance-prone).
+            const double spread =
+                params_.pointNoise *
+                (1.0 + 0.4 * std::sin(static_cast<double>(i) / 35.0));
+            Point2 &pt = points_[i * params_.pointsPerInput + j];
+            pt.x = centers[c].x + data_rng.gaussian(0.0, spread);
+            pt.y = centers[c].y + data_rng.gaussian(0.0, spread);
+        }
+    }
+    model_ = std::make_unique<StreamclusterModel>(params_, &points_);
+}
+
+core::RegionProfile
+StreamclusterWorkload::region() const
+{
+    // streamcluster's stream setup and final output stage are a notable
+    // sequential fraction (the paper finds it limited by code outside
+    // the STATS region).
+    const double body = static_cast<double>(params_.inputs) *
+                        params_.pointsPerInput *
+                        (params_.opsPerPointAssign +
+                         6.0 * params_.opsPerPointRefine);
+    return {0.045 * body, 0.035 * body};
+}
+
+core::TlpModel
+StreamclusterWorkload::tlpModel() const
+{
+    core::TlpModel tlp;
+    tlp.parallelFraction = 0.88;
+    tlp.maxThreads = 12;
+    tlp.syncWorkPerRound = 2000.0;
+    return tlp;
+}
+
+core::StatsConfig
+StreamclusterWorkload::tunedConfig(unsigned cores) const
+{
+    // Table I: 280 threads / 280 states at 28 cores — the autotuner
+    // picks many short chunks (light states converge fast, so chunking
+    // aggressively is cheap).
+    core::StatsConfig cfg;
+    cfg.numChunks = static_cast<unsigned>(std::min<std::size_t>(
+        10 * cores, model_->numInputs() / 8));
+    cfg.altWindowK = 2;
+    cfg.numOriginalStates = 1;
+    cfg.innerTlpThreads = 1;
+    return cfg;
+}
+
+double
+StreamclusterWorkload::quality(const std::vector<double> &outputs) const
+{
+    REPRO_ASSERT(!outputs.empty(), "quality needs outputs");
+    // Average clustering cost over the stream (lower is better).
+    double sum = 0.0;
+    for (double o : outputs)
+        sum += o;
+    return sum / static_cast<double>(outputs.size());
+}
+
+perfmodel::AccessProfile
+StreamclusterWorkload::accessProfile() const
+{
+    perfmodel::AccessProfile a;
+    a.stateBytes = model_->stateSizeBytes();
+    a.scratchBytes = 8 * 1024;
+    a.streamBytesPerInput = params_.pointsPerInput * sizeof(Point2);
+    a.accessesPerInput = params_.pointsPerInput * 40;
+    a.hotFraction = 0.55; // Point stream dominates: streaming workload.
+    a.branchesPerInput = params_.pointsPerInput * 12;
+    a.noisyBranchFraction = 0.13; // Data-dependent nearest-center tests.
+    a.loopPeriod = 8;
+    a.hotSequentialFraction = 0.5;
+    a.streamReuse = 0.3;
+    a.statsWorkScale = 0.75; // Chunked states converge faster (§V-C).
+    return a;
+}
+
+} // namespace repro::workloads

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * streamcluster: online k-median clustering of a drifting point stream
+ * (PARSEC streamcluster re-impl).
+ *
+ * The kernel consumes batches of 2-D points drawn from slowly drifting
+ * clusters and maintains k weighted facilities.  The state dependence is
+ * the facility set: each batch refines the facilities produced by all
+ * previous batches.  Facility weights make the refinement sticky — a
+ * facility carrying much history moves slowly, so a stale state needs
+ * many refinement iterations per batch, while a freshly (re)started
+ * state converges in a couple.  This reproduces the paper's observation
+ * (§V-C) that the STATS build of streamcluster executes *fewer*
+ * instructions than the original: chunk-local states are light and
+ * converge faster.  The short-memory property is the drift itself:
+ * facilities depend on recent points, not on the distant past.
+ *
+ * Nondeterminism: each batch subsamples the points used for the
+ * centroid pull, and facilities occasionally reopen at a random point
+ * (the randomized facility-opening of the original algorithm).
+ */
+
+#ifndef REPRO_WORKLOADS_STREAMCLUSTER_H
+#define REPRO_WORKLOADS_STREAMCLUSTER_H
+
+#include <vector>
+
+#include "core/state_model.h"
+#include "workloads/common.h"
+#include "workloads/workload.h"
+
+namespace repro::workloads {
+
+/** Tunable shape of the streamcluster kernel. */
+struct StreamclusterParams
+{
+    std::size_t inputs = 4480;    //!< Point batches (the stream).
+    unsigned pointsPerInput = 32; //!< Points per batch.
+    unsigned clusters = 4;        //!< Facilities (k).
+    double arena = 100.0;         //!< Point-space side length.
+    double driftAmplitude = 8.0;  //!< Cluster-center drift amplitude.
+    double pointNoise = 3.0;      //!< Point scatter around its center.
+    double maxWeight = 40.0;      //!< Facility weight cap (consolidation).
+    double convergeEps = 0.30;    //!< Refinement stop distance.
+    unsigned maxRefineIters = 60; //!< Refinement iteration cap.
+    double includeProbability = 0.7; //!< Point subsampling probability.
+    double reopenProbability = 0.001; //!< Random facility reopen per batch.
+    double matchTolerance = 20.0; //!< Greedy-match acceptance distance.
+    std::uint64_t opsPerPointAssign = 48; //!< Modeled ops per assignment.
+    std::uint64_t opsPerPointRefine = 3;  //!< Modeled ops per refine pass.
+    std::uint64_t dataSeed = 0x5EEDC0DE;  //!< Input-data seed (fixed).
+};
+
+/** The facility set: the 104-byte state of Table I. */
+struct StreamclusterState : core::TypedState<StreamclusterState>
+{
+    std::vector<Point2> centers;
+    std::vector<double> weights;
+};
+
+/** The state dependence of streamcluster. */
+class StreamclusterModel : public core::IStateModel
+{
+  public:
+    /**
+     * @param points The input stream (inputs x pointsPerInput points),
+     *        owned by the caller and outliving the model.
+     */
+    StreamclusterModel(StreamclusterParams params,
+                       const std::vector<Point2> *points);
+
+    std::string name() const override { return "streamcluster"; }
+    std::size_t numInputs() const override { return p.inputs; }
+    core::StateHandle initialState() const override;
+    core::StateHandle coldState() const override;
+    double update(core::State &state, std::size_t input,
+                  core::ExecContext &ctx) const override;
+    bool matches(const core::State &spec,
+                 const core::State &orig) const override;
+    std::size_t stateSizeBytes() const override { return 104; }
+
+    const StreamclusterParams &params() const { return p; }
+
+  private:
+    /** Facilities on the static base grid with unit weight. */
+    core::StateHandle gridState() const;
+
+    StreamclusterParams p;
+    const std::vector<Point2> *points_;
+};
+
+/** The streamcluster benchmark. */
+class StreamclusterWorkload : public Workload
+{
+  public:
+    explicit StreamclusterWorkload(double scale = 1.0);
+
+    std::string name() const override { return "streamcluster"; }
+    const core::IStateModel &model() const override { return *model_; }
+    core::RegionProfile region() const override;
+    core::TlpModel tlpModel() const override;
+    core::StatsConfig tunedConfig(unsigned cores) const override;
+    double quality(const std::vector<double> &outputs) const override;
+    perfmodel::AccessProfile accessProfile() const override;
+
+    /** The generated input stream (for tests). */
+    const std::vector<Point2> &points() const { return points_; }
+
+  private:
+    StreamclusterParams params_;
+    std::vector<Point2> points_;
+    std::unique_ptr<StreamclusterModel> model_;
+};
+
+} // namespace repro::workloads
+
+#endif // REPRO_WORKLOADS_STREAMCLUSTER_H

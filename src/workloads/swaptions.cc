@@ -1,0 +1,142 @@
+#include "workloads/swaptions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.h"
+#include "workloads/common.h"
+
+namespace repro::workloads {
+
+core::StateHandle
+SwaptionsModel::initialState() const
+{
+    return std::make_unique<SwaptionsState>();
+}
+
+core::StateHandle
+SwaptionsModel::coldState() const
+{
+    return std::make_unique<SwaptionsState>();
+}
+
+double
+SwaptionsModel::update(core::State &state, std::size_t input,
+                       core::ExecContext &ctx) const
+{
+    (void)input; // Batches are i.i.d.; the input index carries no data.
+    auto &s = static_cast<SwaptionsState &>(state);
+
+    const double dt = p.expiry / static_cast<double>(p.stepsPerPath);
+    const double drift = -0.5 * p.vol * p.vol * dt;
+    const double diffusion = p.vol * std::sqrt(dt);
+
+    for (unsigned path = 0; path < p.pathsPerInput; ++path) {
+        // Log-Euler discretization of the lognormal forward swap rate.
+        double rate = p.forward;
+        for (unsigned step = 0; step < p.stepsPerPath; ++step)
+            rate *= std::exp(drift + diffusion * ctx.rng().gaussian());
+        const double payoff =
+            p.annuity * std::max(rate - p.strike, 0.0);
+        s.sum += payoff;
+        s.sumSq += payoff * payoff;
+        s.count += 1.0;
+    }
+    ctx.tick(static_cast<std::uint64_t>(p.pathsPerInput) * p.opsPerPath);
+    return s.estimate();
+}
+
+bool
+SwaptionsModel::matches(const core::State &spec,
+                        const core::State &orig) const
+{
+    const auto &a = static_cast<const SwaptionsState &>(spec);
+    const auto &b = static_cast<const SwaptionsState &>(orig);
+    if (a.count <= 0.0 || b.count <= 0.0)
+        return false;
+    return std::abs(a.estimate() - b.estimate()) <= p.matchTolerance;
+}
+
+double
+SwaptionsModel::oraclePrice() const
+{
+    return blackSwaptionPrice(p.forward, p.strike, p.vol, p.expiry,
+                              p.annuity);
+}
+
+SwaptionsWorkload::SwaptionsWorkload(double scale)
+    : model_([scale] {
+          SwaptionsParams p;
+          p.inputs = std::max<std::size_t>(
+              static_cast<std::size_t>(1024 * scale), 144);
+          return p;
+      }())
+{
+}
+
+core::RegionProfile
+SwaptionsWorkload::region() const
+{
+    // Almost everything is inside the pricing loop; option setup and
+    // result printing are a sliver of the run.
+    const double body =
+        static_cast<double>(model_.numInputs()) *
+        model_.params().pathsPerInput * model_.params().opsPerPath;
+    return {0.001 * body, 0.001 * body};
+}
+
+core::TlpModel
+SwaptionsWorkload::tlpModel() const
+{
+    // The pthreads build parallelizes across swaptions; the paper's
+    // input uses only 4 of them, capping the original TLP at 4 workers.
+    core::TlpModel tlp;
+    tlp.parallelFraction = 0.99;
+    tlp.maxThreads = 4;
+    tlp.syncWorkPerRound = 500.0;
+    return tlp;
+}
+
+core::StatsConfig
+SwaptionsWorkload::tunedConfig(unsigned cores) const
+{
+    // Table I: 36 threads / 36 states at 28 cores.  Chunks slightly
+    // oversubscribe the cores; no replicas (the estimate tolerance makes
+    // a single original state sufficient); no inner TLP needed.
+    core::StatsConfig cfg;
+    cfg.numChunks = cores + cores / 4 + std::min(1u, cores / 14);
+    cfg.altWindowK = 2;
+    cfg.numOriginalStates = 1;
+    cfg.innerTlpThreads = 1;
+    return cfg;
+}
+
+double
+SwaptionsWorkload::quality(const std::vector<double> &outputs) const
+{
+    REPRO_ASSERT(!outputs.empty(), "quality needs outputs");
+    return std::abs(outputs.back() - model_.oraclePrice());
+}
+
+perfmodel::AccessProfile
+SwaptionsWorkload::accessProfile() const
+{
+    perfmodel::AccessProfile a;
+    a.stateBytes = model_.stateSizeBytes();
+    a.scratchBytes = 2048;       // Path buffer and locals.
+    a.streamBytesPerInput = 64;  // No streamed data: parameters only.
+    a.accessesPerInput =
+        static_cast<std::uint64_t>(model_.params().pathsPerInput) *
+        model_.params().stepsPerPath * 4;
+    a.hotFraction = 0.98;
+    a.branchesPerInput =
+        static_cast<std::uint64_t>(model_.params().pathsPerInput) *
+        model_.params().stepsPerPath;
+    a.noisyBranchFraction = 0.01;
+    a.loopPeriod = 8;
+    a.hotSequentialFraction = 0.3;
+    a.statsWorkScale = 1.0;
+    return a;
+}
+
+} // namespace repro::workloads

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * swaptions: Monte-Carlo swaption pricing (PARSEC swaptions re-impl).
+ *
+ * The kernel prices a European payer swaption by simulating lognormal
+ * forward-swap-rate paths (a one-factor HJM-style discretization) and
+ * averaging discounted payoffs.  The state dependence is the running
+ * Monte-Carlo accumulator (sum, sum of squares, count — 24 bytes, Table
+ * I): every batch of simulations updates the estimate produced by all
+ * previous batches.  The short-memory property is statistical
+ * convergence: an alternative producer running k fresh batches lands
+ * within sampling error of the converged estimate, which is what the
+ * runtime's match tolerance encodes.
+ *
+ * The paper's input tweak (§IV-C: 32M simulations, 4 swaptions) maps to
+ * many simulation batches and an original TLP capped at 4 threads (one
+ * per swaption), which is why the benchmark's pre-existing parallelism
+ * does not scale while STATS's does.
+ *
+ * Black's closed-form price is the quality oracle (Fig. 16).
+ */
+
+#ifndef REPRO_WORKLOADS_SWAPTIONS_H
+#define REPRO_WORKLOADS_SWAPTIONS_H
+
+#include "core/state_model.h"
+#include "workloads/workload.h"
+
+namespace repro::workloads {
+
+/** Tunable shape of the swaptions kernel. */
+struct SwaptionsParams
+{
+    std::size_t inputs = 512;     //!< Simulation batches (the stream).
+    unsigned pathsPerInput = 64;  //!< Monte-Carlo paths per batch.
+    unsigned stepsPerPath = 16;   //!< Euler steps per path.
+    double forward = 0.04;        //!< Forward swap rate.
+    double strike = 0.04;         //!< Strike (at the money).
+    double vol = 0.20;            //!< Lognormal volatility.
+    double expiry = 1.0;          //!< Expiry in years.
+    double annuity = 4.0;         //!< Annuity factor.
+    double matchTolerance = 0.006; //!< Estimate acceptance band.
+    std::uint64_t opsPerPath = 500; //!< Modeled ops per simulated path.
+};
+
+/** Running Monte-Carlo accumulator: the 24-byte state of Table I. */
+struct SwaptionsState : core::TypedState<SwaptionsState>
+{
+    double sum = 0.0;   //!< Sum of discounted payoffs.
+    double sumSq = 0.0; //!< Sum of squared payoffs.
+    double count = 0.0; //!< Paths accumulated.
+
+    /** Current price estimate (0 while empty). */
+    double
+    estimate() const
+    {
+        return count > 0.0 ? sum / count : 0.0;
+    }
+};
+
+/** The state dependence of swaptions. */
+class SwaptionsModel : public core::IStateModel
+{
+  public:
+    explicit SwaptionsModel(SwaptionsParams params) : p(params) {}
+
+    std::string name() const override { return "swaptions"; }
+    std::size_t numInputs() const override { return p.inputs; }
+    core::StateHandle initialState() const override;
+    core::StateHandle coldState() const override;
+    double update(core::State &state, std::size_t input,
+                  core::ExecContext &ctx) const override;
+    bool matches(const core::State &spec,
+                 const core::State &orig) const override;
+    std::size_t stateSizeBytes() const override { return 24; }
+
+    /** Closed-form reference price (the Fig. 16 oracle). */
+    double oraclePrice() const;
+
+    const SwaptionsParams &params() const { return p; }
+
+  private:
+    SwaptionsParams p;
+};
+
+/** The swaptions benchmark. */
+class SwaptionsWorkload : public Workload
+{
+  public:
+    explicit SwaptionsWorkload(double scale = 1.0);
+
+    std::string name() const override { return "swaptions"; }
+    const core::IStateModel &model() const override { return model_; }
+    core::RegionProfile region() const override;
+    core::TlpModel tlpModel() const override;
+    core::StatsConfig tunedConfig(unsigned cores) const override;
+    double quality(const std::vector<double> &outputs) const override;
+    perfmodel::AccessProfile accessProfile() const override;
+
+  private:
+    SwaptionsModel model_;
+};
+
+} // namespace repro::workloads
+
+#endif // REPRO_WORKLOADS_SWAPTIONS_H

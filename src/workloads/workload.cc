@@ -1,0 +1,58 @@
+#include "workloads/workload.h"
+
+#include "util/log.h"
+#include "workloads/bodytrack.h"
+#include "workloads/facedet_track.h"
+#include "workloads/facetrack.h"
+#include "workloads/streamclassifier.h"
+#include "workloads/streamcluster.h"
+#include "workloads/swaptions.h"
+
+namespace repro::workloads {
+
+core::DesignSpace
+Workload::designSpace(unsigned cores) const
+{
+    return core::DesignSpace::standard(model().numInputs(), cores);
+}
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names{
+        "swaptions",  "streamclassifier", "streamcluster",
+        "bodytrack",  "facetrack",        "facedet-and-track",
+    };
+    return names;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, double scale)
+{
+    if (scale <= 0.0 || scale > 1.0)
+        util::fatal("workload scale must be in (0, 1]");
+    if (name == "swaptions")
+        return std::make_unique<SwaptionsWorkload>(scale);
+    if (name == "streamclassifier")
+        return std::make_unique<StreamclassifierWorkload>(scale);
+    if (name == "streamcluster")
+        return std::make_unique<StreamclusterWorkload>(scale);
+    if (name == "bodytrack")
+        return std::make_unique<BodytrackWorkload>(scale);
+    if (name == "facetrack")
+        return std::make_unique<FacetrackWorkload>(scale);
+    if (name == "facedet-and-track")
+        return std::make_unique<FacedetTrackWorkload>(scale);
+    util::fatal("unknown workload '" + name + "'");
+}
+
+std::vector<std::unique_ptr<Workload>>
+makeAllWorkloads(double scale)
+{
+    std::vector<std::unique_ptr<Workload>> all;
+    for (const auto &name : workloadNames())
+        all.push_back(makeWorkload(name, scale));
+    return all;
+}
+
+} // namespace repro::workloads

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The benchmark-facing interface of the reproduction.
+ *
+ * Each of the paper's six benchmarks (§IV-C) is re-implemented as a
+ * Workload: a real computational kernel with a state dependence exposed
+ * through core::IStateModel, plus everything the characterization needs —
+ * the work outside the STATS region (Fig. 8), a model of the benchmark's
+ * original TLP, the configuration the autotuner settles on (Table I), an
+ * output-quality metric (Fig. 16), and the memory/branch profile feeding
+ * the architecture simulation (Table II).
+ *
+ * The PARSEC/OpenCV originals are not vendorable here; DESIGN.md §2
+ * documents how each kernel preserves the behaviours the paper's
+ * characterization depends on.
+ */
+
+#ifndef REPRO_WORKLOADS_WORKLOAD_H
+#define REPRO_WORKLOADS_WORKLOAD_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/engine.h"
+#include "core/state_model.h"
+#include "perfmodel/access_profile.h"
+
+namespace repro::workloads {
+
+/**
+ * One reproduced benchmark.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Benchmark name as in the paper ("swaptions", "bodytrack", ...). */
+    virtual std::string name() const = 0;
+
+    /** The state dependence handed to the STATS engine.  The returned
+     *  model is owned by the workload and valid for its lifetime. */
+    virtual const core::IStateModel &model() const = 0;
+
+    /** Work outside the STATS region of interest. */
+    virtual core::RegionProfile region() const = 0;
+
+    /** Model of the benchmark's pre-existing (pthreads) TLP. */
+    virtual core::TlpModel tlpModel() const = 0;
+
+    /** The configuration the autotuner selects for @p cores cores (the
+     *  shipped result of the design-space exploration; the autotuner
+     *  bench re-derives comparable points). */
+    virtual core::StatsConfig tunedConfig(unsigned cores) const = 0;
+
+    /** The design space the STATS middle-end generates. */
+    virtual core::DesignSpace designSpace(unsigned cores) const;
+
+    /**
+     * Output quality of one run: a distance to the oracle output
+     * (lower is better), from the per-input outputs a run produced.
+     * This is the metric Fig. 16's distributions are built from.
+     */
+    virtual double quality(const std::vector<double> &outputs) const = 0;
+
+    /** Memory/branch behaviour for the architecture simulation. */
+    virtual perfmodel::AccessProfile accessProfile() const = 0;
+};
+
+/**
+ * All six paper benchmarks.
+ *
+ * @param scale Input-size multiplier in (0, 1]: 1.0 reproduces the
+ *        paper-shaped inputs; smaller values shrink the streams for
+ *        quick runs (tests, smoke benches).
+ */
+std::vector<std::unique_ptr<Workload>> makeAllWorkloads(double scale = 1.0);
+
+/** One benchmark by name; fatal() when unknown. */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       double scale = 1.0);
+
+/** The six benchmark names in the paper's order. */
+const std::vector<std::string> &workloadNames();
+
+} // namespace repro::workloads
+
+#endif // REPRO_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the critical-path report (analysis/critical_path.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/critical_path.h"
+#include "core/engine.h"
+#include "platform/des.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using repro::analysis::criticalPathReport;
+using repro::platform::MachineModel;
+using repro::platform::Simulator;
+using repro::trace::TaskGraph;
+using repro::trace::TaskKind;
+
+MachineModel
+quietMachine(unsigned cores)
+{
+    MachineModel m = MachineModel::haswell(cores);
+    m.syncOpCycles = 0.0;
+    m.contextSwitchCycles = 0.0;
+    return m;
+}
+
+TEST(CriticalPath, ChainAccountsFullMakespan)
+{
+    // A pure dependency chain: the path is the whole graph and busy
+    // time equals the makespan.
+    TaskGraph g;
+    auto a = g.addTask(TaskKind::ChunkBody, 0, 100.0);
+    auto b = g.addTask(TaskKind::AltProducer, 1, 50.0);
+    auto c = g.addTask(TaskKind::StateCompare, 2, 25.0);
+    g.addDep(a, b);
+    g.addDep(b, c);
+    const auto sched = Simulator(quietMachine(4)).run(g);
+    const auto report = criticalPathReport(sched, g);
+    EXPECT_EQ(report.steps.size(), 3u);
+    EXPECT_DOUBLE_EQ(report.busyCycles, report.makespan);
+    EXPECT_DOUBLE_EQ(
+        report.cyclesByKind[static_cast<std::size_t>(
+            TaskKind::ChunkBody)],
+        100.0);
+    EXPECT_NEAR(report.overheadShare(), 75.0 / 175.0, 1e-12);
+}
+
+TEST(CriticalPath, ShortBranchExcluded)
+{
+    TaskGraph g;
+    auto longer = g.addTask(TaskKind::ChunkBody, 0, 1000.0);
+    auto shorter = g.addTask(TaskKind::ChunkBody, 1, 10.0);
+    auto join = g.addTask(TaskKind::Sync, 2, 0.0);
+    g.addDep(longer, join);
+    g.addDep(shorter, join);
+    const auto sched = Simulator(quietMachine(4)).run(g);
+    const auto report = criticalPathReport(sched, g);
+    for (const auto &step : report.steps)
+        EXPECT_NE(step.task, shorter);
+}
+
+TEST(CriticalPath, CoreWaitMeasured)
+{
+    // Two tasks on one core: the second waits for the core.
+    TaskGraph g;
+    g.addTask(TaskKind::ChunkBody, 0, 100.0);
+    g.addTask(TaskKind::ChunkBody, 1, 100.0);
+    const auto sched = Simulator(quietMachine(1)).run(g);
+    const auto report = criticalPathReport(sched, g);
+    EXPECT_DOUBLE_EQ(report.waitCycles, 100.0);
+    EXPECT_DOUBLE_EQ(report.makespan, 200.0);
+}
+
+TEST(CriticalPath, DescribeListsContributors)
+{
+    TaskGraph g;
+    auto a = g.addTask(TaskKind::AltProducer, 0, 70.0);
+    auto b = g.addTask(TaskKind::ChunkBody, 0, 30.0);
+    g.addDep(a, b);
+    const auto sched = Simulator(quietMachine(2)).run(g);
+    const auto report = criticalPathReport(sched, g);
+    const std::string text = report.describe();
+    // Alt producer contributes more, so it is listed first.
+    EXPECT_LT(text.find("alt-producer"), text.find("chunk-body"));
+}
+
+TEST(CriticalPath, StatsRunPathIsConsistent)
+{
+    const repro::core::Engine engine;
+    const auto w = repro::workloads::makeWorkload("facetrack", 0.25);
+    const auto run = engine.runStats(w->model(), w->region(),
+                                     w->tlpModel(), w->tunedConfig(28),
+                                     42);
+    const auto sched =
+        Simulator(MachineModel::haswell(28)).run(run.graph);
+    const auto report = criticalPathReport(sched, run.graph);
+    EXPECT_FALSE(report.steps.empty());
+    EXPECT_LE(report.busyCycles, report.makespan + 1e-6);
+    // Steps are time-ordered.
+    for (std::size_t i = 1; i < report.steps.size(); ++i)
+        EXPECT_GE(report.steps[i].start, report.steps[i - 1].start);
+}
+
+} // namespace

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the overhead-attribution ladder (analysis/overheads.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "analysis/overheads.h"
+#include "platform/machine.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using repro::analysis::ExtraComputationBreakdown;
+using repro::analysis::OverheadAnalyzer;
+using repro::analysis::OverheadBreakdown;
+using repro::analysis::OverheadCategory;
+using repro::core::Engine;
+using repro::platform::MachineModel;
+using namespace repro::workloads;
+
+constexpr double kScale = 0.25;
+
+OverheadBreakdown
+analyzeOne(const std::string &name, unsigned cores)
+{
+    const Engine engine;
+    const auto w = makeWorkload(name, kScale);
+    const OverheadAnalyzer analyzer(engine, MachineModel::haswell(cores));
+    return analyzer.analyze(*w, w->tunedConfig(cores), 42);
+}
+
+TEST(Overheads, CategoryNamesDistinct)
+{
+    std::set<std::string> names;
+    for (std::size_t c = 0;
+         c < repro::analysis::kNumOverheadCategories; ++c) {
+        names.insert(repro::analysis::overheadCategoryName(
+            static_cast<OverheadCategory>(c)));
+    }
+    EXPECT_EQ(names.size(), repro::analysis::kNumOverheadCategories);
+}
+
+TEST(Overheads, FractionsPartitionIdealSpeedup)
+{
+    for (const auto &name : {"swaptions", "streamclassifier"}) {
+        const OverheadBreakdown b = analyzeOne(name, 28);
+        double lost = std::accumulate(b.lostFraction.begin(),
+                                      b.lostFraction.end(), 0.0);
+        EXPECT_NEAR(lost + b.actualSpeedup / b.idealSpeedup, 1.0, 0.05)
+            << name;
+    }
+}
+
+TEST(Overheads, AllFractionsNonNegative)
+{
+    const OverheadBreakdown b = analyzeOne("streamcluster", 28);
+    for (double f : b.lostFraction)
+        EXPECT_GE(f, 0.0);
+}
+
+TEST(Overheads, ActualBelowIdeal)
+{
+    for (const auto &name : workloadNames()) {
+        const OverheadBreakdown b = analyzeOne(name, 28);
+        EXPECT_GT(b.actualSpeedup, 0.5) << name;
+        EXPECT_LE(b.actualSpeedup, b.idealSpeedup * 1.3) << name;
+        EXPECT_DOUBLE_EQ(b.idealSpeedup, 28.0);
+    }
+}
+
+TEST(Overheads, FacetrackIsMispeculationLimited)
+{
+    // The paper: facetrack is mainly limited by mispeculation because
+    // STATS creates only 7 parallel chunks to avoid aborts.
+    const OverheadBreakdown b = analyzeOne("facetrack", 28);
+    const double mispec = b.lostFraction[static_cast<std::size_t>(
+        OverheadCategory::Mispeculation)];
+    EXPECT_GT(mispec, 0.10);
+}
+
+TEST(Overheads, SwaptionsLosesLittle)
+{
+    // The paper: swaptions parallelized by STATS reaches (near) linear
+    // speedup on 28 cores.
+    const OverheadBreakdown b = analyzeOne("swaptions", 28);
+    EXPECT_GT(b.actualSpeedup / b.idealSpeedup, 0.45);
+}
+
+TEST(Overheads, FacedetIsSynchronizationHungry)
+{
+    const OverheadBreakdown b = analyzeOne("facedet-and-track", 28);
+    const double sync = b.lostFraction[static_cast<std::size_t>(
+        OverheadCategory::Synchronization)];
+    EXPECT_GT(sync, 0.015);
+}
+
+TEST(Overheads, StreamclusterLosesToSequentialCode)
+{
+    const OverheadBreakdown b = analyzeOne("streamcluster", 28);
+    const double seq = b.lostFraction[static_cast<std::size_t>(
+        OverheadCategory::SequentialCode)];
+    EXPECT_GT(seq, 0.01);
+}
+
+TEST(Overheads, Deterministic)
+{
+    const OverheadBreakdown a = analyzeOne("streamclassifier", 14);
+    const OverheadBreakdown b = analyzeOne("streamclassifier", 14);
+    EXPECT_DOUBLE_EQ(a.actualSpeedup, b.actualSpeedup);
+    for (std::size_t c = 0; c < a.lostFraction.size(); ++c)
+        EXPECT_DOUBLE_EQ(a.lostFraction[c], b.lostFraction[c]);
+}
+
+TEST(ExtraComputation, SharesSumToOne)
+{
+    const Engine engine;
+    const auto w = makeWorkload("bodytrack", kScale);
+    const OverheadAnalyzer analyzer(engine, MachineModel::haswell(28));
+    const ExtraComputationBreakdown e =
+        analyzer.analyzeExtraComputation(*w, w->tunedConfig(28), 42);
+    const double total = e.specStateTime + e.origStatesTime +
+                         e.comparisonsTime + e.setupTime + e.copyTime;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ExtraComputation, BodytrackDominatedBySpeculationWork)
+{
+    // Fig. 11: the two main extra-computation sources are generating
+    // the speculative state and the multiple original states.
+    const Engine engine;
+    const auto w = makeWorkload("bodytrack", kScale);
+    const OverheadAnalyzer analyzer(engine, MachineModel::haswell(28));
+    const ExtraComputationBreakdown e =
+        analyzer.analyzeExtraComputation(*w, w->tunedConfig(28), 42);
+    EXPECT_GT(e.specStateTime + e.origStatesTime, 0.5);
+}
+
+TEST(ExtraComputation, LossesNonNegative)
+{
+    const Engine engine;
+    const auto w = makeWorkload("facedet-and-track", kScale);
+    const OverheadAnalyzer analyzer(engine, MachineModel::haswell(28));
+    const ExtraComputationBreakdown e =
+        analyzer.analyzeExtraComputation(*w, w->tunedConfig(28), 42);
+    EXPECT_GE(e.specStateLoss, 0.0);
+    EXPECT_GE(e.origStatesLoss, 0.0);
+    EXPECT_GE(e.comparisonsLoss, 0.0);
+    EXPECT_GE(e.setupLoss, 0.0);
+    EXPECT_GE(e.copyLoss, 0.0);
+}
+
+TEST(ExtraComputation, CopyingNotOnCriticalPath)
+{
+    // §V-C: "instructions related to 'State copying' are not in the
+    // critical path ... the performance lost because of that are
+    // negligible."
+    const Engine engine;
+    const auto w = makeWorkload("bodytrack", kScale);
+    const OverheadAnalyzer analyzer(engine, MachineModel::haswell(28));
+    const ExtraComputationBreakdown e =
+        analyzer.analyzeExtraComputation(*w, w->tunedConfig(28), 42);
+    EXPECT_LT(e.copyLoss, e.specStateLoss + e.origStatesLoss + 0.5);
+}
+
+} // namespace

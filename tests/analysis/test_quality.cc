@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the output-variability analysis (analysis/quality.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/quality.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using repro::analysis::measureQuality;
+using repro::analysis::QualityDistribution;
+using repro::analysis::QualityMode;
+using repro::core::Engine;
+using namespace repro::workloads;
+
+constexpr double kScale = 0.25;
+
+TEST(QualityDistribution, SummaryOrdering)
+{
+    QualityDistribution d;
+    d.samples = {5.0, 1.0, 3.0, 2.0, 4.0};
+    d.summarize();
+    EXPECT_DOUBLE_EQ(d.min, 1.0);
+    EXPECT_DOUBLE_EQ(d.max, 5.0);
+    EXPECT_DOUBLE_EQ(d.median, 3.0);
+    EXPECT_DOUBLE_EQ(d.mean, 3.0);
+    EXPECT_LE(d.p25, d.median);
+    EXPECT_LE(d.median, d.p75);
+}
+
+TEST(Quality, RunsCountRespected)
+{
+    const Engine engine;
+    const auto w = makeWorkload("streamclassifier", kScale);
+    const auto d =
+        measureQuality(*w, engine, QualityMode::Original, 12, 28, 100);
+    EXPECT_EQ(d.samples.size(), 12u);
+}
+
+TEST(Quality, NondeterminismProducesSpread)
+{
+    const Engine engine;
+    const auto w = makeWorkload("swaptions", kScale);
+    const auto d =
+        measureQuality(*w, engine, QualityMode::Original, 16, 28, 100);
+    EXPECT_GT(d.max, d.min);
+}
+
+TEST(Quality, StatsDistributionOverlapsOriginal)
+{
+    // Fig. 16: STATS preserves semantics, so the two distributions sit
+    // in the same range (the paper even finds STATS slightly better).
+    const Engine engine;
+    for (const auto &name : {"swaptions", "streamclassifier"}) {
+        const auto w = makeWorkload(name, kScale);
+        const auto orig = measureQuality(*w, engine,
+                                         QualityMode::Original, 16, 28,
+                                         100);
+        const auto stats =
+            measureQuality(*w, engine, QualityMode::Stats, 16, 28, 100);
+        EXPECT_LT(stats.median, orig.median * 4.0 + 0.5) << name;
+        EXPECT_LT(orig.median, stats.median * 4.0 + 0.5) << name;
+    }
+}
+
+TEST(Quality, Deterministic)
+{
+    const Engine engine;
+    const auto w = makeWorkload("facetrack", kScale);
+    const auto a =
+        measureQuality(*w, engine, QualityMode::Stats, 6, 28, 5);
+    const auto b =
+        measureQuality(*w, engine, QualityMode::Stats, 6, 28, 5);
+    ASSERT_EQ(a.samples.size(), b.samples.size());
+    for (std::size_t i = 0; i < a.samples.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.samples[i], b.samples[i]);
+}
+
+} // namespace

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for Fig. 9/12-style speedup measurement (analysis/speedup.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/speedup.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using repro::analysis::SpeedupMeter;
+using repro::analysis::SpeedupSample;
+using repro::core::Engine;
+using namespace repro::workloads;
+
+constexpr double kScale = 0.25;
+
+TEST(Speedup, StatsBeatsOriginalTlp)
+{
+    // Fig. 9's core message: the STATS TLP scales beyond the original
+    // TLP for these benchmarks.
+    const Engine engine;
+    const SpeedupMeter meter(engine);
+    for (const auto &name :
+         {"swaptions", "streamcluster", "streamclassifier"}) {
+        const auto w = makeWorkload(name, kScale);
+        const SpeedupSample s = meter.measure(*w, 28, 42);
+        EXPECT_GT(s.seqStats, s.original) << name;
+    }
+}
+
+TEST(Speedup, MoreCoresMoreStatsSpeedup)
+{
+    const Engine engine;
+    const SpeedupMeter meter(engine);
+    const auto w = makeWorkload("swaptions", kScale);
+    const SpeedupSample s14 = meter.measure(*w, 14, 42);
+    const SpeedupSample s28 = meter.measure(*w, 28, 42);
+    EXPECT_GT(s28.seqStats, s14.seqStats);
+}
+
+TEST(Speedup, OriginalTlpPlateausAcrossSockets)
+{
+    // The paper: 3.70x at 14 cores vs 3.76x at 28 — the original TLP
+    // barely moves when doubling the cores.
+    const Engine engine;
+    const SpeedupMeter meter(engine);
+    const auto w = makeWorkload("swaptions", kScale);
+    const SpeedupSample s14 = meter.measure(*w, 14, 42);
+    const SpeedupSample s28 = meter.measure(*w, 28, 42);
+    EXPECT_LT(s28.original - s14.original, 1.0);
+}
+
+TEST(Speedup, AllPositive)
+{
+    const Engine engine;
+    const SpeedupMeter meter(engine);
+    for (const auto &w : makeAllWorkloads(kScale)) {
+        const SpeedupSample s = meter.measure(*w, 28, 42);
+        EXPECT_GT(s.original, 0.3) << w->name();
+        EXPECT_GT(s.seqStats, 0.3) << w->name();
+        EXPECT_GT(s.parStats, 0.3) << w->name();
+    }
+}
+
+TEST(Speedup, StatsOnlyConfigHasExactChunkCount)
+{
+    for (const auto &w : makeAllWorkloads(kScale)) {
+        for (unsigned cores : {14u, 28u}) {
+            const auto cfg = SpeedupMeter::statsOnlyConfig(*w, cores);
+            EXPECT_EQ(cfg.innerTlpThreads, 1u) << w->name();
+            const unsigned expect = static_cast<unsigned>(
+                std::min<std::size_t>(cores,
+                                      w->model().numInputs() / 2));
+            EXPECT_EQ(cfg.numChunks, expect) << w->name();
+            EXPECT_EQ(cfg.check(w->model().numInputs()), "")
+                << w->name();
+        }
+    }
+}
+
+TEST(Speedup, Deterministic)
+{
+    const Engine engine;
+    const SpeedupMeter meter(engine);
+    const auto w = makeWorkload("facetrack", kScale);
+    const SpeedupSample a = meter.measure(*w, 28, 9);
+    const SpeedupSample b = meter.measure(*w, 28, 9);
+    EXPECT_DOUBLE_EQ(a.original, b.original);
+    EXPECT_DOUBLE_EQ(a.seqStats, b.seqStats);
+    EXPECT_DOUBLE_EQ(a.parStats, b.parStats);
+}
+
+} // namespace

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Synthetic state model for engine tests.
+ *
+ * The state is an exponential moving average of a noisy deterministic
+ * signal:  v_i = (1 - alpha) * v_{i-1} + alpha * (signal(i) + noise).
+ * The influence of the starting value decays as (1 - alpha)^k, so the
+ * short-memory length is directly controlled by alpha: an alternative
+ * producer replaying k inputs lands within (1 - alpha)^k of any original
+ * state (up to noise).  That makes commit/abort behaviour of the STATS
+ * engine fully steerable from a test: large alpha + loose tolerance means
+ * all speculations commit; tiny alpha + tight tolerance forces aborts.
+ */
+
+#ifndef REPRO_TESTS_CORE_EMA_MODEL_H
+#define REPRO_TESTS_CORE_EMA_MODEL_H
+
+#include <cmath>
+#include <cstddef>
+
+#include "core/state_model.h"
+
+namespace repro::testing {
+
+/** State of the EMA model: one double. */
+struct EmaState : core::TypedState<EmaState>
+{
+    double value = 0.0;
+};
+
+/** Configurable EMA state model (see file comment). */
+class EmaModel : public core::IStateModel
+{
+  public:
+    struct Config
+    {
+        std::size_t inputs = 64;
+        double alpha = 0.5;       //!< EMA decay (memory length knob).
+        double noise = 0.01;      //!< Stddev of per-input noise.
+        double tolerance = 0.05;  //!< matches() acceptance band.
+        std::uint64_t opsPerInput = 1000; //!< Work ticked per update.
+    };
+
+    explicit EmaModel(Config config) : cfg(config) {}
+
+    std::string name() const override { return "ema"; }
+    std::size_t numInputs() const override { return cfg.inputs; }
+
+    core::StateHandle
+    initialState() const override
+    {
+        return std::make_unique<EmaState>();
+    }
+
+    core::StateHandle
+    coldState() const override
+    {
+        return std::make_unique<EmaState>();
+    }
+
+    double
+    update(core::State &state, std::size_t input,
+           core::ExecContext &ctx) const override
+    {
+        auto &s = static_cast<EmaState &>(state);
+        const double sig = signal(input);
+        const double draw = ctx.rng().gaussian(0.0, cfg.noise);
+        s.value = (1.0 - cfg.alpha) * s.value + cfg.alpha * (sig + draw);
+        ctx.tick(cfg.opsPerInput);
+        return s.value;
+    }
+
+    bool
+    matches(const core::State &spec,
+            const core::State &orig) const override
+    {
+        const auto &a = static_cast<const EmaState &>(spec);
+        const auto &b = static_cast<const EmaState &>(orig);
+        return std::abs(a.value - b.value) <= cfg.tolerance;
+    }
+
+    std::size_t stateSizeBytes() const override { return sizeof(double); }
+
+    /** The deterministic component tracked by the EMA. */
+    static double
+    signal(std::size_t input)
+    {
+        return std::sin(static_cast<double>(input) * 0.05) * 2.0;
+    }
+
+    const Config cfg;
+};
+
+} // namespace repro::testing
+
+#endif // REPRO_TESTS_CORE_EMA_MODEL_H

@@ -1,0 +1,466 @@
+/**
+ * @file
+ * Unit and property tests for the STATS engine (core/engine.h).
+ *
+ * The tests enforce the execution-model invariants listed in DESIGN.md §4:
+ * determinism, in-order commit, abort correctness (re-execution from the
+ * exact committed predecessor state), graph well-formedness, and the
+ * consistency of operation accounting with the emitted task structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.h"
+#include "core/ema_model.h"
+#include "platform/des.h"
+#include "util/rng.h"
+
+namespace {
+
+using repro::core::Engine;
+using repro::core::RegionProfile;
+using repro::core::RunResult;
+using repro::core::StatsConfig;
+using repro::core::TlpModel;
+using repro::platform::MachineModel;
+using repro::platform::Simulator;
+using repro::testing::EmaModel;
+using repro::testing::EmaState;
+using repro::trace::TaskKind;
+
+EmaModel::Config
+friendlyConfig()
+{
+    // Strong decay: 8 replayed inputs shrink start-state influence to
+    // 0.4%, far below the tolerance -> speculation always commits.
+    EmaModel::Config c;
+    c.inputs = 128;
+    c.alpha = 0.5;
+    c.noise = 0.001;
+    c.tolerance = 0.1;
+    return c;
+}
+
+EmaModel::Config
+hostileConfig()
+{
+    // Nearly no decay and a tight tolerance: an alternative producer
+    // replaying a short window cannot reach the original state.
+    EmaModel::Config c;
+    c.inputs = 128;
+    c.alpha = 0.01;
+    c.noise = 0.0001;
+    c.tolerance = 1e-6;
+    return c;
+}
+
+StatsConfig
+statsConfig(unsigned chunks, unsigned k, unsigned r, unsigned t = 1)
+{
+    StatsConfig cfg;
+    cfg.numChunks = chunks;
+    cfg.altWindowK = k;
+    cfg.numOriginalStates = r;
+    cfg.innerTlpThreads = t;
+    return cfg;
+}
+
+std::size_t
+countKind(const repro::trace::TaskGraph &g, TaskKind kind)
+{
+    std::size_t n = 0;
+    for (const auto &t : g.tasks())
+        n += t.kind == kind ? 1 : 0;
+    return n;
+}
+
+TEST(EngineSequential, DeterministicOutputs)
+{
+    const EmaModel model(friendlyConfig());
+    const Engine engine;
+    const RegionProfile region{100.0, 50.0};
+    const RunResult a = engine.runSequential(model, region, 42);
+    const RunResult b = engine.runSequential(model, region, 42);
+    ASSERT_EQ(a.outputs.size(), b.outputs.size());
+    for (std::size_t i = 0; i < a.outputs.size(); ++i)
+        ASSERT_DOUBLE_EQ(a.outputs[i], b.outputs[i]);
+    EXPECT_EQ(a.ops.total(), b.ops.total());
+}
+
+TEST(EngineSequential, DifferentSeedsDifferentOutputs)
+{
+    const EmaModel model(friendlyConfig());
+    const Engine engine;
+    const RunResult a = engine.runSequential(model, {}, 1);
+    const RunResult b = engine.runSequential(model, {}, 2);
+    int differing = 0;
+    for (std::size_t i = 0; i < a.outputs.size(); ++i)
+        differing += a.outputs[i] != b.outputs[i] ? 1 : 0;
+    EXPECT_GT(differing, 0);
+}
+
+TEST(EngineSequential, SingleThreadGraph)
+{
+    const EmaModel model(friendlyConfig());
+    const Engine engine;
+    const RunResult r = engine.runSequential(model, {10.0, 10.0}, 1);
+    EXPECT_EQ(r.graph.numThreads(), 1u);
+    EXPECT_EQ(r.threadsCreated, 0u);
+    EXPECT_EQ(r.commits, 0u);
+    EXPECT_EQ(r.aborts, 0u);
+}
+
+TEST(EngineSequential, OpsMatchModelCost)
+{
+    EmaModel::Config c = friendlyConfig();
+    c.inputs = 100;
+    c.opsPerInput = 77;
+    const EmaModel model(c);
+    const Engine engine;
+    const RunResult r = engine.runSequential(model, {}, 1);
+    EXPECT_EQ(r.ops.count(TaskKind::ChunkBody), 7700u);
+}
+
+TEST(EngineOriginalTlp, SameOutputsAsSequential)
+{
+    // The original TLP parallelizes within an input; the logical output
+    // stream is the sequential one.
+    const EmaModel model(friendlyConfig());
+    const Engine engine;
+    const RunResult seq = engine.runSequential(model, {}, 9);
+    const RunResult par =
+        engine.runOriginalTlp(model, {}, TlpModel{}, 8, 9);
+    ASSERT_EQ(seq.outputs.size(), par.outputs.size());
+    for (std::size_t i = 0; i < seq.outputs.size(); ++i)
+        ASSERT_DOUBLE_EQ(seq.outputs[i], par.outputs[i]);
+}
+
+TEST(EngineOriginalTlp, AmdahlBoundsSpeedup)
+{
+    const EmaModel model(friendlyConfig());
+    const Engine engine;
+    TlpModel tlp;
+    tlp.parallelFraction = 0.8;
+    tlp.syncWorkPerRound = 0.0;
+
+    MachineModel m = MachineModel::haswell(14);
+    m.syncOpCycles = 0.0;
+    m.contextSwitchCycles = 0.0;
+    const Simulator sim(m);
+
+    const double t1 =
+        sim.run(engine.runSequential(model, {}, 3).graph).makespan;
+    const double t14 =
+        sim.run(engine.runOriginalTlp(model, {}, tlp, 14, 3).graph)
+            .makespan;
+    const double speedup = t1 / t14;
+    const double amdahl = 1.0 / (0.2 + 0.8 / 14.0);
+    EXPECT_LE(speedup, amdahl + 0.05);
+    EXPECT_GT(speedup, 1.5);
+}
+
+TEST(EngineStats, AllCommitWhenMemoryIsShort)
+{
+    const EmaModel model(friendlyConfig());
+    const Engine engine;
+    const RunResult r =
+        engine.runStats(model, {}, TlpModel{}, statsConfig(8, 8, 3), 42);
+    EXPECT_EQ(r.commits, 7u);
+    EXPECT_EQ(r.aborts, 0u);
+    EXPECT_EQ(countKind(r.graph, TaskKind::MispecReExec), 0u);
+}
+
+TEST(EngineStats, AllAbortWhenMemoryIsLong)
+{
+    const EmaModel model(hostileConfig());
+    const Engine engine;
+    const RunResult r =
+        engine.runStats(model, {}, TlpModel{}, statsConfig(4, 2, 2), 42);
+    EXPECT_EQ(r.commits, 0u);
+    EXPECT_EQ(r.aborts, 3u);
+    EXPECT_GT(countKind(r.graph, TaskKind::MispecReExec), 0u);
+}
+
+TEST(EngineStats, ForceAllCommitSuppressesAborts)
+{
+    const EmaModel model(hostileConfig());
+    const Engine engine;
+    const RunResult r = engine.runStats(model, {}, TlpModel{},
+                                        statsConfig(4, 2, 2), 42, true);
+    EXPECT_EQ(r.commits, 3u);
+    EXPECT_EQ(r.aborts, 0u);
+    EXPECT_EQ(countKind(r.graph, TaskKind::MispecReExec), 0u);
+}
+
+TEST(EngineStats, Deterministic)
+{
+    const EmaModel model(friendlyConfig());
+    const Engine engine;
+    const auto cfg = statsConfig(8, 4, 2);
+    const RunResult a = engine.runStats(model, {}, TlpModel{}, cfg, 7);
+    const RunResult b = engine.runStats(model, {}, TlpModel{}, cfg, 7);
+    EXPECT_EQ(a.graph.size(), b.graph.size());
+    EXPECT_EQ(a.commits, b.commits);
+    EXPECT_EQ(a.aborts, b.aborts);
+    EXPECT_EQ(a.ops.total(), b.ops.total());
+    ASSERT_EQ(a.outputs.size(), b.outputs.size());
+    for (std::size_t i = 0; i < a.outputs.size(); ++i)
+        ASSERT_DOUBLE_EQ(a.outputs[i], b.outputs[i]);
+}
+
+TEST(EngineStats, GraphIsAcyclicAndComplete)
+{
+    const EmaModel model(friendlyConfig());
+    const Engine engine;
+    const RunResult r =
+        engine.runStats(model, {}, TlpModel{}, statsConfig(8, 4, 3), 11);
+    EXPECT_TRUE(r.graph.isAcyclic());
+    const std::size_t slices = engine.params().taskSlices;
+    // One alternative producer per chunk after the first (each emitted
+    // as `slices` preemption slices).
+    EXPECT_EQ(countKind(r.graph, TaskKind::AltProducer), 7u * slices);
+    // R-1 replicas per boundary.
+    EXPECT_EQ(countKind(r.graph, TaskKind::OriginalStateGen),
+              7u * 2u * slices);
+    // At least one comparison per boundary.
+    EXPECT_GE(countKind(r.graph, TaskKind::StateCompare), 7u);
+    // Setup and teardown.
+    EXPECT_EQ(countKind(r.graph, TaskKind::Setup), 2u);
+}
+
+TEST(EngineStats, ThreadAccounting)
+{
+    const EmaModel model(friendlyConfig());
+    const Engine engine;
+    // 8 chunks, R=3 -> 8 chunk threads + 7 boundaries x 2 replica
+    // threads = 22 created threads (main excluded).
+    const RunResult r =
+        engine.runStats(model, {}, TlpModel{}, statsConfig(8, 4, 3), 11);
+    EXPECT_EQ(r.threadsCreated, 8u + 14u);
+}
+
+TEST(EngineStats, InnerTlpAddsHelperThreads)
+{
+    const EmaModel model(friendlyConfig());
+    const Engine engine;
+    const RunResult r =
+        engine.runStats(model, {}, TlpModel{}, statsConfig(4, 4, 1, 4),
+                        11);
+    // 4 chunks x 4 TLP threads = 16 worker threads.
+    EXPECT_EQ(r.threadsCreated, 16u);
+}
+
+TEST(EngineStats, CommittedChunkOutputsComeFromSpeculativeRun)
+{
+    // When a chunk commits, its outputs must be exactly the outputs of
+    // running the body from the alternative producer's state — replay
+    // the protocol's committed path by hand and compare.
+    const EmaModel::Config mc = friendlyConfig();
+    const EmaModel model(mc);
+    const Engine engine;
+    const unsigned C = 4, K = 8;
+    const RunResult r =
+        engine.runStats(model, {}, TlpModel{}, statsConfig(C, K, 2), 99);
+    ASSERT_EQ(r.aborts, 0u);
+
+    const std::size_t n = mc.inputs;
+    repro::util::Rng base(99);
+    for (unsigned c = 1; c < C; ++c) {
+        const std::size_t begin = n * c / C;
+        const std::size_t end = n * (c + 1) / C;
+
+        // Alternative producer replay.
+        EmaState state;
+        {
+            repro::core::ExecContext ctx(base.split(2000 + c), nullptr,
+                                         TaskKind::AltProducer);
+            for (std::size_t i = begin - K; i < begin; ++i)
+                model.update(state, i, ctx);
+        }
+        // Chunk body replay.
+        repro::core::ExecContext ctx(base.split(1000 + c), nullptr,
+                                     TaskKind::ChunkBody);
+        for (std::size_t i = begin; i < end; ++i) {
+            const double out = model.update(state, i, ctx);
+            ASSERT_DOUBLE_EQ(out, r.outputs[i])
+                << "chunk " << c << " input " << i;
+        }
+    }
+}
+
+TEST(EngineStats, AbortedChunkReExecutesFromCommittedPredecessor)
+{
+    // With a hostile model every speculation aborts; each chunk must
+    // re-execute from the exact final state of its predecessor, i.e.
+    // the committed output sequence equals a chained replay.
+    const EmaModel::Config mc = hostileConfig();
+    const EmaModel model(mc);
+    const Engine engine;
+    const unsigned C = 4, K = 2;
+    const RunResult r =
+        engine.runStats(model, {}, TlpModel{}, statsConfig(C, K, 1), 5);
+    ASSERT_EQ(r.aborts, C - 1);
+
+    const std::size_t n = mc.inputs;
+    repro::util::Rng base(5);
+    EmaState state;
+    for (unsigned c = 0; c < C; ++c) {
+        const std::size_t begin = n * c / C;
+        const std::size_t end = n * (c + 1) / C;
+        // Chunk 0 runs with its speculative stream; aborted chunks
+        // re-execute with the re-execution stream.
+        repro::core::ExecContext ctx(
+            c == 0 ? base.split(1000) : base.split(5000 + c), nullptr,
+            TaskKind::ChunkBody);
+        for (std::size_t i = begin; i < end; ++i) {
+            const double out = model.update(state, i, ctx);
+            ASSERT_DOUBLE_EQ(out, r.outputs[i])
+                << "chunk " << c << " input " << i;
+        }
+    }
+}
+
+TEST(EngineStats, OpAccountingMatchesGraphWork)
+{
+    const EmaModel model(friendlyConfig());
+    const Engine engine;
+    const RunResult r =
+        engine.runStats(model, {}, TlpModel{}, statsConfig(8, 4, 3), 3);
+    const auto by_kind = r.graph.workByKind();
+    // Body/alt-producer/original-state work in the graph equals the ops
+    // ticked by the model for those categories.
+    EXPECT_NEAR(by_kind[static_cast<std::size_t>(TaskKind::ChunkBody)],
+                static_cast<double>(r.ops.count(TaskKind::ChunkBody)),
+                1e-6);
+    EXPECT_NEAR(
+        by_kind[static_cast<std::size_t>(TaskKind::AltProducer)],
+        static_cast<double>(r.ops.count(TaskKind::AltProducer)), 1e-6);
+    EXPECT_NEAR(
+        by_kind[static_cast<std::size_t>(TaskKind::OriginalStateGen)],
+        static_cast<double>(r.ops.count(TaskKind::OriginalStateGen)),
+        1e-6);
+}
+
+TEST(EngineStats, BodyOpsEqualSequentialWhenCostIsInputInvariant)
+{
+    // The EMA model costs the same per input regardless of state, so
+    // the committed STATS body executes exactly the sequential body ops.
+    const EmaModel model(friendlyConfig());
+    const Engine engine;
+    const RunResult seq = engine.runSequential(model, {}, 4);
+    const RunResult st =
+        engine.runStats(model, {}, TlpModel{}, statsConfig(8, 8, 2), 4);
+    ASSERT_EQ(st.aborts, 0u);
+    EXPECT_EQ(st.ops.count(TaskKind::ChunkBody),
+              seq.ops.count(TaskKind::ChunkBody));
+}
+
+TEST(EngineStats, SpeedupOnManyCores)
+{
+    // Long chunks relative to the replay window k: the alternative
+    // producers' extra work stays small next to the chunk bodies.
+    EmaModel::Config mc = friendlyConfig();
+    mc.inputs = 1024;
+    mc.opsPerInput = 50000;
+    const EmaModel model(mc);
+    const Engine engine;
+    const auto cfg = statsConfig(28, 8, 2);
+    const RunResult seq = engine.runSequential(model, {}, 8);
+    const RunResult st = engine.runStats(model, {}, TlpModel{}, cfg, 8);
+    ASSERT_EQ(st.aborts, 0u);
+
+    const Simulator sim(MachineModel::haswell(28));
+    const double t_seq = sim.run(seq.graph).makespan;
+    const double t_st = sim.run(st.graph).makespan;
+    EXPECT_GT(t_seq / t_st, 14.0);
+}
+
+TEST(EngineStats, SequentialCodeLimitsSpeedup)
+{
+    EmaModel::Config mc = friendlyConfig();
+    mc.inputs = 256;
+    mc.opsPerInput = 10000;
+    const EmaModel model(mc);
+    const Engine engine;
+    // Region work == body work: at most 2x speedup possible.
+    const double body =
+        static_cast<double>(mc.inputs * mc.opsPerInput);
+    const RegionProfile region{body, 0.0};
+    const auto cfg = statsConfig(28, 8, 2);
+    const RunResult seq = engine.runSequential(model, region, 8);
+    const RunResult st =
+        engine.runStats(model, region, TlpModel{}, cfg, 8);
+
+    const Simulator sim(MachineModel::haswell(28));
+    const double speedup =
+        sim.run(seq.graph).makespan / sim.run(st.graph).makespan;
+    EXPECT_LT(speedup, 2.0);
+    EXPECT_GT(speedup, 1.5);
+}
+
+TEST(EngineStats, StateSizeDrivesCopyBytes)
+{
+    const EmaModel model(friendlyConfig());
+    const Engine engine;
+    const RunResult r =
+        engine.runStats(model, {}, TlpModel{}, statsConfig(4, 4, 2), 2);
+    for (const auto &t : r.graph.tasks()) {
+        if (t.kind == TaskKind::StateCopy) {
+            EXPECT_EQ(t.bytes, model.stateSizeBytes());
+        }
+    }
+}
+
+TEST(EngineStats, CopyTasksCarryPayloadSource)
+{
+    const EmaModel model(friendlyConfig());
+    const Engine engine;
+    const RunResult r =
+        engine.runStats(model, {}, TlpModel{}, statsConfig(4, 4, 2), 2);
+    std::size_t with_source = 0;
+    for (const auto &t : r.graph.tasks()) {
+        if (t.kind == TaskKind::StateCopy && t.payloadSource >= 0)
+            ++with_source;
+    }
+    EXPECT_GT(with_source, 0u);
+}
+
+TEST(EngineStats, UseStatsTlpFalseDegeneratesToOriginalTlp)
+{
+    const EmaModel model(friendlyConfig());
+    const Engine engine;
+    StatsConfig cfg = statsConfig(8, 4, 2, 6);
+    cfg.useStatsTlp = false;
+    const RunResult a =
+        engine.runStats(model, {}, TlpModel{}, cfg, 13);
+    const RunResult b =
+        engine.runOriginalTlp(model, {}, TlpModel{}, 6, 13);
+    EXPECT_EQ(a.graph.size(), b.graph.size());
+    EXPECT_EQ(a.ops.total(), b.ops.total());
+}
+
+TEST(EngineStatsDeathTest, TooManyChunksForInputs)
+{
+    EmaModel::Config mc = friendlyConfig();
+    mc.inputs = 4;
+    const EmaModel model(mc);
+    const Engine engine;
+    EXPECT_EXIT(
+        engine.runStats(model, {}, TlpModel{}, statsConfig(8, 1, 1), 1),
+        ::testing::ExitedWithCode(1), "fewer inputs");
+}
+
+TEST(EngineStatsDeathTest, WindowLargerThanChunk)
+{
+    EmaModel::Config mc = friendlyConfig();
+    mc.inputs = 32;
+    const EmaModel model(mc);
+    const Engine engine;
+    EXPECT_EXIT(
+        engine.runStats(model, {}, TlpModel{}, statsConfig(8, 16, 1), 1),
+        ::testing::ExitedWithCode(1), "alt window");
+}
+
+} // namespace

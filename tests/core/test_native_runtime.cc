@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Cross-validation of the native (std::thread) runtime against the
+ * logical engine: same RNG stream derivation, same protocol, so same
+ * outputs, commit decisions, and abort counts — bit for bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/ema_model.h"
+#include "core/native_runtime.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using repro::core::Engine;
+using repro::core::NativeRuntime;
+using repro::core::StatsConfig;
+using repro::core::TlpModel;
+using repro::testing::EmaModel;
+
+StatsConfig
+cfg(unsigned chunks, unsigned k, unsigned r)
+{
+    StatsConfig c;
+    c.numChunks = chunks;
+    c.altWindowK = k;
+    c.numOriginalStates = r;
+    return c;
+}
+
+TEST(NativeRuntime, SequentialMatchesEngine)
+{
+    EmaModel::Config mc;
+    mc.inputs = 96;
+    const EmaModel model(mc);
+    const Engine engine;
+    const NativeRuntime native(4);
+
+    const auto logical = engine.runSequential(model, {}, 21);
+    const auto real = native.runSequential(model, 21);
+    ASSERT_EQ(logical.outputs.size(), real.outputs.size());
+    for (std::size_t i = 0; i < logical.outputs.size(); ++i)
+        ASSERT_DOUBLE_EQ(logical.outputs[i], real.outputs[i]);
+}
+
+TEST(NativeRuntime, StatsMatchesEngineWhenAllCommit)
+{
+    EmaModel::Config mc;
+    mc.inputs = 128;
+    mc.alpha = 0.5;
+    mc.tolerance = 0.1;
+    const EmaModel model(mc);
+    const Engine engine;
+    const NativeRuntime native(4);
+    const auto config = cfg(8, 8, 3);
+
+    const auto logical =
+        engine.runStats(model, {}, TlpModel{}, config, 17);
+    const auto real = native.run(model, config, 17);
+    EXPECT_EQ(real.commits, logical.commits);
+    EXPECT_EQ(real.aborts, logical.aborts);
+    ASSERT_EQ(real.outputs.size(), logical.outputs.size());
+    for (std::size_t i = 0; i < real.outputs.size(); ++i)
+        ASSERT_DOUBLE_EQ(real.outputs[i], logical.outputs[i]);
+}
+
+TEST(NativeRuntime, StatsMatchesEngineWhenAllAbort)
+{
+    EmaModel::Config mc;
+    mc.inputs = 128;
+    mc.alpha = 0.01;
+    mc.tolerance = 1e-7;
+    const EmaModel model(mc);
+    const Engine engine;
+    const NativeRuntime native(3);
+    const auto config = cfg(4, 2, 2);
+
+    const auto logical =
+        engine.runStats(model, {}, TlpModel{}, config, 5);
+    const auto real = native.run(model, config, 5);
+    EXPECT_GT(real.aborts, 0u);
+    EXPECT_EQ(real.commits, logical.commits);
+    EXPECT_EQ(real.aborts, logical.aborts);
+    for (std::size_t i = 0; i < real.outputs.size(); ++i)
+        ASSERT_DOUBLE_EQ(real.outputs[i], logical.outputs[i]);
+}
+
+TEST(NativeRuntime, MatchesEngineOnRealWorkloads)
+{
+    const Engine engine;
+    const NativeRuntime native(4);
+    for (const auto &name :
+         {"swaptions", "streamclassifier", "facetrack"}) {
+        const auto w = repro::workloads::makeWorkload(name, 0.25);
+        auto config = w->tunedConfig(14);
+        config.innerTlpThreads = 1;
+        const auto logical = engine.runStats(
+            w->model(), w->region(), w->tlpModel(), config, 33);
+        const auto real = native.run(w->model(), config, 33);
+        EXPECT_EQ(real.commits, logical.commits) << name;
+        EXPECT_EQ(real.aborts, logical.aborts) << name;
+        ASSERT_EQ(real.outputs.size(), logical.outputs.size());
+        for (std::size_t i = 0; i < real.outputs.size(); ++i) {
+            ASSERT_DOUBLE_EQ(real.outputs[i], logical.outputs[i])
+                << name << " input " << i;
+        }
+    }
+}
+
+TEST(NativeRuntime, SingleChunkIsSequential)
+{
+    EmaModel::Config mc;
+    mc.inputs = 64;
+    const EmaModel model(mc);
+    const NativeRuntime native(2);
+    const auto seq = native.runSequential(model, 3);
+    const auto one = native.run(model, cfg(1, 1, 1), 3);
+    for (std::size_t i = 0; i < seq.outputs.size(); ++i)
+        ASSERT_DOUBLE_EQ(seq.outputs[i], one.outputs[i]);
+}
+
+TEST(NativeRuntime, ThreadCapRespectedFunctionally)
+{
+    // Running with 1 worker thread must still produce the same result
+    // (the cap batches the parallel phase, it must not change it).
+    EmaModel::Config mc;
+    mc.inputs = 96;
+    const EmaModel model(mc);
+    const NativeRuntime wide(8), narrow(1);
+    const auto config = cfg(6, 4, 2);
+    const auto a = wide.run(model, config, 9);
+    const auto b = narrow.run(model, config, 9);
+    EXPECT_EQ(a.commits, b.commits);
+    for (std::size_t i = 0; i < a.outputs.size(); ++i)
+        ASSERT_DOUBLE_EQ(a.outputs[i], b.outputs[i]);
+}
+
+TEST(NativeRuntimeDeathTest, RequiresStatsTlp)
+{
+    EmaModel::Config mc;
+    mc.inputs = 64;
+    const EmaModel model(mc);
+    const NativeRuntime native(2);
+    StatsConfig config = cfg(4, 2, 1);
+    config.useStatsTlp = false;
+    EXPECT_EXIT(native.run(model, config, 1),
+                ::testing::ExitedWithCode(1), "useStatsTlp");
+}
+
+} // namespace

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the architecture-effects simulation (perfmodel/arch_sim.h).
+ *
+ * These assert the *relative* behaviours Table II rests on: small
+ * working sets stay cache-resident in every mode; STATS chunking of a
+ * mid-size state loses locality; a statsWorkScale below one shrinks
+ * absolute counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "perfmodel/arch_sim.h"
+
+namespace {
+
+using repro::perfmodel::AccessProfile;
+using repro::perfmodel::ArchCounts;
+using repro::perfmodel::ArchSimConfig;
+using repro::perfmodel::ExecMode;
+using repro::perfmodel::simulateArch;
+
+ArchSimConfig
+smallConfig()
+{
+    ArchSimConfig cfg;
+    cfg.cores = 8;
+    cfg.coresPerSocket = 4;
+    cfg.sampleInputs = 32;
+    cfg.totalInputs = 32;
+    cfg.accessDownsample = 4;
+    cfg.tlpThreads = 8;
+    cfg.statsChunks = 8;
+    cfg.statsReplicas = 2;
+    cfg.statsAltWindow = 2;
+    return cfg;
+}
+
+TEST(ArchSim, DeterministicGivenSeed)
+{
+    AccessProfile p;
+    const auto cfg = smallConfig();
+    const ArchCounts a = simulateArch(p, ExecMode::StatsTlp, cfg, 5);
+    const ArchCounts b = simulateArch(p, ExecMode::StatsTlp, cfg, 5);
+    EXPECT_EQ(a.l1d.misses, b.l1d.misses);
+    EXPECT_EQ(a.llc.misses, b.llc.misses);
+    EXPECT_EQ(a.branch.mispredictions, b.branch.mispredictions);
+}
+
+TEST(ArchSim, TinyStateStaysCacheResident)
+{
+    // swaptions-like: 24-byte state, small scratch.
+    AccessProfile p;
+    p.stateBytes = 24;
+    p.scratchBytes = 2048;
+    p.hotFraction = 0.95;
+    const auto cfg = smallConfig();
+    const ArchCounts seq = simulateArch(p, ExecMode::Sequential, cfg, 1);
+    const ArchCounts st = simulateArch(p, ExecMode::StatsTlp, cfg, 1);
+    EXPECT_LT(seq.l1d.missRate(), 0.10);
+    EXPECT_LT(st.l1d.missRate(), 0.12);
+}
+
+TEST(ArchSim, StatsChunkingHurtsMidSizeStateLocality)
+{
+    // facetrack-like: 8 KB state + scratch around the L1 capacity,
+    // several chunk contexts time-sharing each core.
+    AccessProfile p;
+    p.stateBytes = 8000;
+    p.scratchBytes = 24 * 1024;
+    p.hotFraction = 0.9;
+    ArchSimConfig cfg = smallConfig();
+    cfg.statsChunks = 32; // 4 contexts per core.
+    const ArchCounts seq = simulateArch(p, ExecMode::Sequential, cfg, 2);
+    const ArchCounts st = simulateArch(p, ExecMode::StatsTlp, cfg, 2);
+    EXPECT_GT(st.l1d.missRate(), seq.l1d.missRate());
+}
+
+TEST(ArchSim, WorkScaleShrinksAbsoluteCounts)
+{
+    AccessProfile fast, slow;
+    fast.statsWorkScale = 0.5;
+    slow.statsWorkScale = 1.0;
+    const auto cfg = smallConfig();
+    const ArchCounts a = simulateArch(fast, ExecMode::StatsTlp, cfg, 3);
+    const ArchCounts b = simulateArch(slow, ExecMode::StatsTlp, cfg, 3);
+    EXPECT_LT(a.l1d.accesses, b.l1d.accesses);
+}
+
+TEST(ArchSim, ScalingMultipliesCounts)
+{
+    AccessProfile p;
+    ArchSimConfig cfg = smallConfig();
+    const ArchCounts base = simulateArch(p, ExecMode::Sequential, cfg, 4);
+    cfg.totalInputs = cfg.sampleInputs * 10;
+    const ArchCounts scaled =
+        simulateArch(p, ExecMode::Sequential, cfg, 4);
+    EXPECT_NEAR(static_cast<double>(scaled.l1d.accesses),
+                10.0 * static_cast<double>(base.l1d.accesses),
+                0.01 * static_cast<double>(scaled.l1d.accesses) + 10);
+    EXPECT_DOUBLE_EQ(scaled.scale, base.scale * 10.0);
+}
+
+TEST(ArchSim, NoisyBranchesRaiseMissRate)
+{
+    AccessProfile predictable, noisy;
+    predictable.noisyBranchFraction = 0.0;
+    noisy.noisyBranchFraction = 0.5;
+    const auto cfg = smallConfig();
+    const ArchCounts a =
+        simulateArch(predictable, ExecMode::Sequential, cfg, 5);
+    const ArchCounts b = simulateArch(noisy, ExecMode::Sequential, cfg, 5);
+    EXPECT_LT(a.branch.missRate() + 0.05, b.branch.missRate());
+}
+
+TEST(ArchSim, OriginalTlpSharesState)
+{
+    // Shared state: the combined L1 footprint per worker stays small, so
+    // the original TLP's L1 rate is comparable to sequential.
+    AccessProfile p;
+    p.stateBytes = 4096;
+    p.scratchBytes = 4096;
+    const auto cfg = smallConfig();
+    const ArchCounts seq = simulateArch(p, ExecMode::Sequential, cfg, 6);
+    const ArchCounts tlp =
+        simulateArch(p, ExecMode::OriginalTlp, cfg, 6);
+    EXPECT_NEAR(tlp.l1d.missRate(), seq.l1d.missRate(), 0.1);
+}
+
+TEST(ArchSim, ModeNames)
+{
+    EXPECT_STREQ(repro::perfmodel::execModeName(ExecMode::Sequential),
+                 "sequential");
+    EXPECT_STREQ(repro::perfmodel::execModeName(ExecMode::OriginalTlp),
+                 "original-tlp");
+    EXPECT_STREQ(repro::perfmodel::execModeName(ExecMode::StatsTlp),
+                 "stats-tlp");
+}
+
+} // namespace

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for branch predictors (perfmodel/branch.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include "perfmodel/branch.h"
+#include "util/rng.h"
+
+namespace {
+
+using repro::perfmodel::GsharePredictor;
+using repro::perfmodel::StaticTakenPredictor;
+using repro::util::Rng;
+
+TEST(Gshare, LearnsAlwaysTaken)
+{
+    GsharePredictor p(10);
+    for (int i = 0; i < 10000; ++i)
+        p.predictAndUpdate(0x40, true);
+    // A few warm-up misses while history patterns train.
+    EXPECT_LT(p.stats().missRate(), 0.01);
+}
+
+TEST(Gshare, LearnsLoopPattern)
+{
+    // 7 taken, 1 not-taken, repeating: the period fits inside the
+    // 14-bit global history, so gshare learns the loop exit.
+    GsharePredictor p(14);
+    for (int i = 0; i < 50000; ++i)
+        p.predictAndUpdate(0x80, i % 8 != 0);
+    EXPECT_LT(p.stats().missRate(), 0.02);
+}
+
+TEST(Gshare, RandomBranchesNearHalfMissRate)
+{
+    GsharePredictor p(14);
+    Rng r(7);
+    for (int i = 0; i < 50000; ++i)
+        p.predictAndUpdate(0xC0, r.bernoulli(0.5));
+    EXPECT_NEAR(p.stats().missRate(), 0.5, 0.05);
+}
+
+TEST(Gshare, BiasedBranchesBetterThanRandom)
+{
+    GsharePredictor p(14);
+    Rng r(8);
+    for (int i = 0; i < 50000; ++i)
+        p.predictAndUpdate(0xC0, r.bernoulli(0.9));
+    EXPECT_LT(p.stats().missRate(), 0.2);
+}
+
+TEST(Gshare, ResetClearsState)
+{
+    GsharePredictor p(10);
+    for (int i = 0; i < 100; ++i)
+        p.predictAndUpdate(0x40, true);
+    p.reset();
+    EXPECT_EQ(p.stats().branches, 0u);
+}
+
+TEST(StaticTaken, CountsNotTakenAsMisses)
+{
+    StaticTakenPredictor p;
+    p.predictAndUpdate(0, true);
+    p.predictAndUpdate(0, false);
+    EXPECT_EQ(p.stats().branches, 2u);
+    EXPECT_EQ(p.stats().mispredictions, 1u);
+}
+
+TEST(BranchStats, Merge)
+{
+    repro::perfmodel::BranchStats a, b;
+    a.branches = 10;
+    a.mispredictions = 1;
+    b.branches = 30;
+    b.mispredictions = 3;
+    a.merge(b);
+    EXPECT_EQ(a.branches, 40u);
+    EXPECT_DOUBLE_EQ(a.missRate(), 0.1);
+}
+
+} // namespace

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the cache model (perfmodel/cache.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include "perfmodel/cache.h"
+
+namespace {
+
+using repro::perfmodel::Cache;
+using repro::perfmodel::CacheConfig;
+using repro::perfmodel::CacheHierarchy;
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c({1024, 2, 64});
+    EXPECT_FALSE(c.access(0));
+    EXPECT_TRUE(c.access(0));
+    EXPECT_TRUE(c.access(63));  // Same line.
+    EXPECT_FALSE(c.access(64)); // Next line.
+    EXPECT_EQ(c.stats().accesses, 4u);
+    EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, SetsComputedFromGeometry)
+{
+    CacheConfig cfg{32 * 1024, 8, 64};
+    EXPECT_EQ(cfg.sets(), 64u);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    // 2-way, 1 set of interest: 3 conflicting lines.
+    Cache c({128, 2, 64}); // 1 set, 2 ways.
+    const std::uint64_t a = 0, b = 1 << 10, d = 2 << 10;
+    c.access(a);
+    c.access(b);
+    c.access(d);            // Evicts a (LRU).
+    EXPECT_TRUE(c.access(d));
+    EXPECT_TRUE(c.access(b));
+    EXPECT_FALSE(c.access(a)); // Was evicted.
+}
+
+TEST(Cache, LruRespectsRecency)
+{
+    Cache c({128, 2, 64});
+    const std::uint64_t a = 0, b = 1 << 10, d = 2 << 10;
+    c.access(a);
+    c.access(b);
+    c.access(a);            // a becomes MRU.
+    c.access(d);            // Evicts b.
+    EXPECT_TRUE(c.access(a));
+    EXPECT_FALSE(c.access(b));
+}
+
+TEST(Cache, WorkingSetSmallerThanCacheAllHitsAfterWarmup)
+{
+    Cache c({32 * 1024, 8, 64});
+    for (int pass = 0; pass < 2; ++pass) {
+        for (std::uint64_t addr = 0; addr < 16 * 1024; addr += 64)
+            c.access(addr);
+    }
+    // Second pass (256 accesses) all hit.
+    EXPECT_EQ(c.stats().misses, 256u);
+    EXPECT_EQ(c.stats().accesses, 512u);
+}
+
+TEST(Cache, WorkingSetLargerThanCacheThrashes)
+{
+    Cache c({4 * 1024, 4, 64});
+    // 64 KB loop through a 4 KB cache: every access misses after the
+    // first pass too (LRU, cyclic pattern).
+    for (int pass = 0; pass < 3; ++pass) {
+        for (std::uint64_t addr = 0; addr < 64 * 1024; addr += 64)
+            c.access(addr);
+    }
+    EXPECT_GT(c.stats().missRate(), 0.99);
+}
+
+TEST(Cache, FlushInvalidates)
+{
+    Cache c({1024, 2, 64});
+    c.access(0);
+    c.flush();
+    EXPECT_FALSE(c.access(0));
+}
+
+TEST(Hierarchy, MissWalksDownLevels)
+{
+    CacheHierarchy h(2, 2);
+    h.access(0, 0);
+    const auto t = h.totals();
+    EXPECT_EQ(t.l1d.accesses, 1u);
+    EXPECT_EQ(t.l1d.misses, 1u);
+    EXPECT_EQ(t.l2.accesses, 1u);
+    EXPECT_EQ(t.llc.accesses, 1u);
+}
+
+TEST(Hierarchy, L1HitDoesNotTouchL2)
+{
+    CacheHierarchy h(2, 2);
+    h.access(0, 0);
+    h.access(0, 0);
+    const auto t = h.totals();
+    EXPECT_EQ(t.l1d.accesses, 2u);
+    EXPECT_EQ(t.l2.accesses, 1u);
+}
+
+TEST(Hierarchy, CoresHavePrivateL1)
+{
+    CacheHierarchy h(2, 2);
+    h.access(0, 0);
+    h.access(1, 0); // Other core: its own L1 misses.
+    const auto t = h.totals();
+    EXPECT_EQ(t.l1d.misses, 2u);
+    // But the LLC is shared: the second walk hits there.
+    EXPECT_EQ(t.llc.misses, 1u);
+}
+
+TEST(Hierarchy, SocketsHavePrivateLlc)
+{
+    CacheHierarchy h(4, 2); // 2 sockets of 2 cores.
+    h.access(0, 0);
+    h.access(2, 0); // Core on the other socket: other LLC.
+    const auto t = h.totals();
+    EXPECT_EQ(t.llc.misses, 2u);
+}
+
+TEST(CacheStats, MissRate)
+{
+    repro::perfmodel::CacheStats s;
+    s.accesses = 100;
+    s.misses = 25;
+    EXPECT_DOUBLE_EQ(s.missRate(), 0.25);
+    EXPECT_DOUBLE_EQ(repro::perfmodel::CacheStats{}.missRate(), 0.0);
+}
+
+} // namespace

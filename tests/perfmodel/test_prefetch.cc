@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Tests for the next-line prefetcher option (perfmodel/cache.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include "perfmodel/cache.h"
+
+namespace {
+
+using repro::perfmodel::Cache;
+using repro::perfmodel::CacheConfig;
+
+TEST(Prefetch, NextLineInstalledOnMiss)
+{
+    CacheConfig cfg{1024, 2, 64};
+    cfg.nextLinePrefetch = true;
+    Cache c(cfg);
+    EXPECT_FALSE(c.access(0));
+    EXPECT_TRUE(c.access(64)); // Prefetched by the miss at 0.
+}
+
+TEST(Prefetch, SequentialWalkHalvesMisses)
+{
+    CacheConfig base{4 * 1024, 4, 64};
+    CacheConfig pf = base;
+    pf.nextLinePrefetch = true;
+    Cache plain(base), fetching(pf);
+    for (std::uint64_t addr = 0; addr < 64 * 1024; addr += 64) {
+        plain.access(addr);
+        fetching.access(addr);
+    }
+    // Every access misses without a prefetcher; roughly every other
+    // one misses with it.
+    EXPECT_EQ(plain.stats().misses, 1024u);
+    EXPECT_LE(fetching.stats().misses, 520u);
+}
+
+TEST(Prefetch, RandomAccessUnaffectedMuch)
+{
+    CacheConfig pf{1024, 2, 64};
+    pf.nextLinePrefetch = true;
+    Cache c(pf);
+    // Far-apart lines: prefetched successors are never used.
+    for (std::uint64_t i = 0; i < 64; ++i)
+        c.access(i * 1 << 20);
+    EXPECT_EQ(c.stats().misses, 64u);
+}
+
+TEST(Prefetch, InstallDoesNotCountAccesses)
+{
+    Cache c({1024, 2, 64});
+    c.install(0);
+    EXPECT_EQ(c.stats().accesses, 0u);
+    EXPECT_TRUE(c.access(0));
+}
+
+} // namespace

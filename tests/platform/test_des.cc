@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulator (platform/des.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "platform/des.h"
+#include "util/rng.h"
+
+namespace {
+
+using repro::platform::MachineModel;
+using repro::platform::Schedule;
+using repro::platform::Simulator;
+using repro::platform::SimOptions;
+using repro::trace::TaskGraph;
+using repro::trace::TaskId;
+using repro::trace::TaskKind;
+
+MachineModel
+idealMachine(unsigned cores)
+{
+    // A machine with no overhead costs: pure work scheduling.
+    MachineModel m = MachineModel::haswell(cores);
+    m.syncOpCycles = 0.0;
+    m.contextSwitchCycles = 0.0;
+    m.crossSocketCopyPenalty = 1.0;
+    return m;
+}
+
+TEST(Des, SingleTask)
+{
+    TaskGraph g;
+    g.addTask(TaskKind::ChunkBody, 0, 100.0);
+    Simulator sim(idealMachine(4));
+    const Schedule s = sim.run(g);
+    EXPECT_DOUBLE_EQ(s.makespan, 100.0);
+    EXPECT_DOUBLE_EQ(s.tasks[0].start, 0.0);
+    EXPECT_DOUBLE_EQ(s.tasks[0].finish, 100.0);
+}
+
+TEST(Des, EmptyGraph)
+{
+    TaskGraph g;
+    Simulator sim(idealMachine(2));
+    const Schedule s = sim.run(g);
+    EXPECT_DOUBLE_EQ(s.makespan, 0.0);
+}
+
+TEST(Des, IndependentTasksRunInParallel)
+{
+    TaskGraph g;
+    for (unsigned t = 0; t < 4; ++t)
+        g.addTask(TaskKind::ChunkBody, t, 100.0);
+    Simulator sim(idealMachine(4));
+    EXPECT_DOUBLE_EQ(sim.run(g).makespan, 100.0);
+}
+
+TEST(Des, FewerCoresSerializes)
+{
+    TaskGraph g;
+    for (unsigned t = 0; t < 4; ++t)
+        g.addTask(TaskKind::ChunkBody, t, 100.0);
+    Simulator sim(idealMachine(2));
+    EXPECT_DOUBLE_EQ(sim.run(g).makespan, 200.0);
+}
+
+TEST(Des, DependencyChainSerializes)
+{
+    TaskGraph g;
+    const TaskId a = g.addTask(TaskKind::ChunkBody, 0, 50.0);
+    const TaskId b = g.addTask(TaskKind::ChunkBody, 1, 50.0);
+    g.addDep(a, b);
+    Simulator sim(idealMachine(8));
+    const Schedule s = sim.run(g);
+    EXPECT_DOUBLE_EQ(s.makespan, 100.0);
+    EXPECT_DOUBLE_EQ(s.tasks[b].start, 50.0);
+    EXPECT_EQ(s.tasks[b].criticalDep, a);
+}
+
+TEST(Des, ProgramOrderWithinThread)
+{
+    TaskGraph g;
+    g.addTask(TaskKind::ChunkBody, 0, 10.0);
+    g.addTask(TaskKind::ChunkBody, 0, 10.0);
+    g.addTask(TaskKind::ChunkBody, 0, 10.0);
+    Simulator sim(idealMachine(8));
+    EXPECT_DOUBLE_EQ(sim.run(g).makespan, 30.0);
+}
+
+TEST(Des, CyclesPerWorkScalesCost)
+{
+    TaskGraph g;
+    g.addTask(TaskKind::ChunkBody, 0, 100.0);
+    MachineModel m = idealMachine(1);
+    m.cyclesPerWork = 2.0;
+    Simulator sim(m);
+    EXPECT_DOUBLE_EQ(sim.run(g).makespan, 200.0);
+}
+
+TEST(Des, SyncTaskChargesSyncCycles)
+{
+    TaskGraph g;
+    g.addTask(TaskKind::Sync, 0, 0.0);
+    MachineModel m = idealMachine(1);
+    m.syncOpCycles = 900.0;
+    Simulator sim(m);
+    EXPECT_DOUBLE_EQ(sim.run(g).makespan, 900.0);
+}
+
+TEST(Des, CopyCostFromBytes)
+{
+    TaskGraph g;
+    g.addTask(TaskKind::StateCopy, 0, 0.0, repro::trace::kNoChunk, 800);
+    MachineModel m = idealMachine(1);
+    m.copyBytesPerCycle = 4.0;
+    Simulator sim(m);
+    EXPECT_DOUBLE_EQ(sim.run(g).makespan, 200.0);
+}
+
+TEST(Des, CompareCostFromBytes)
+{
+    TaskGraph g;
+    g.addTask(TaskKind::StateCompare, 0, 0.0, repro::trace::kNoChunk, 800);
+    MachineModel m = idealMachine(1);
+    m.compareBytesPerCycle = 8.0;
+    Simulator sim(m);
+    EXPECT_DOUBLE_EQ(sim.run(g).makespan, 100.0);
+}
+
+TEST(Des, CrossSocketCopyPaysPenalty)
+{
+    // Producer pinned to thread 0 (socket 0).  15 single-thread tasks
+    // force the consumer threads onto distinct cores; the copy of the
+    // state produced on socket 0 by a thread scheduled on socket 1 must
+    // cost more.
+    MachineModel m = idealMachine(28);
+    m.crossSocketCopyPenalty = 3.0;
+    m.copyBytesPerCycle = 1.0;
+
+    TaskGraph g;
+    const TaskId prod = g.addTask(TaskKind::ChunkBody, 0, 10.0);
+    // Occupy cores 0..13 (socket 0) with long tasks on other threads.
+    for (unsigned t = 1; t <= 13; ++t)
+        g.addTask(TaskKind::ChunkBody, t, 1000.0);
+    // The copy on a fresh thread: scheduler places it on an idle core.
+    const TaskId copy = g.addTask(TaskKind::StateCopy, 99, 0.0,
+                                  repro::trace::kNoChunk, 100);
+    g.addDep(prod, copy);
+    g.mutableTask(copy).payloadSource = prod;
+
+    Simulator sim(m);
+    const Schedule s = sim.run(g);
+    const auto &cs = s.tasks[copy];
+    const double cost = cs.finish - cs.start;
+    if (m.socketOf(cs.core) != m.socketOf(s.tasks[prod].core)) {
+        EXPECT_DOUBLE_EQ(cost, 300.0);
+    } else {
+        EXPECT_DOUBLE_EQ(cost, 100.0);
+    }
+}
+
+TEST(Des, ContextSwitchChargedOnThreadChange)
+{
+    MachineModel m = idealMachine(1);
+    m.contextSwitchCycles = 500.0;
+    TaskGraph g;
+    g.addTask(TaskKind::ChunkBody, 0, 100.0);
+    g.addTask(TaskKind::ChunkBody, 1, 100.0);
+    Simulator sim(m);
+    const Schedule s = sim.run(g);
+    // Second task pays one context switch on the single core.
+    EXPECT_DOUBLE_EQ(s.makespan, 700.0);
+    EXPECT_DOUBLE_EQ(s.contextSwitchCycles, 500.0);
+}
+
+TEST(Des, NoContextSwitchSameThread)
+{
+    MachineModel m = idealMachine(1);
+    m.contextSwitchCycles = 500.0;
+    TaskGraph g;
+    g.addTask(TaskKind::ChunkBody, 0, 100.0);
+    g.addTask(TaskKind::ChunkBody, 0, 100.0);
+    Simulator sim(m);
+    EXPECT_DOUBLE_EQ(sim.run(g).makespan, 200.0);
+}
+
+TEST(Des, KindCostScaleZeroElidesCategory)
+{
+    TaskGraph g;
+    g.addTask(TaskKind::ChunkBody, 0, 100.0);
+    g.addTask(TaskKind::AltProducer, 0, 100.0);
+    Simulator sim(idealMachine(1),
+                  SimOptions::without({TaskKind::AltProducer}));
+    EXPECT_DOUBLE_EQ(sim.run(g).makespan, 100.0);
+}
+
+TEST(Des, SyncScaleAlsoRemovesContextSwitches)
+{
+    MachineModel m = idealMachine(1);
+    m.contextSwitchCycles = 500.0;
+    TaskGraph g;
+    g.addTask(TaskKind::ChunkBody, 0, 100.0);
+    g.addTask(TaskKind::ChunkBody, 1, 100.0);
+    Simulator sim(m, SimOptions::without({TaskKind::Sync}));
+    EXPECT_DOUBLE_EQ(sim.run(g).makespan, 200.0);
+}
+
+TEST(Des, DeterministicAcrossRuns)
+{
+    TaskGraph g;
+    for (unsigned t = 0; t < 10; ++t) {
+        const TaskId a = g.addTask(TaskKind::ChunkBody, t, 10.0 + t);
+        const TaskId b = g.addTask(TaskKind::Sync, t, 0.0);
+        g.addDep(a, b);
+    }
+    Simulator sim(MachineModel::haswell(4));
+    const Schedule s1 = sim.run(g);
+    const Schedule s2 = sim.run(g);
+    ASSERT_EQ(s1.tasks.size(), s2.tasks.size());
+    for (std::size_t i = 0; i < s1.tasks.size(); ++i) {
+        EXPECT_EQ(s1.tasks[i].core, s2.tasks[i].core);
+        EXPECT_DOUBLE_EQ(s1.tasks[i].start, s2.tasks[i].start);
+        EXPECT_DOUBLE_EQ(s1.tasks[i].finish, s2.tasks[i].finish);
+    }
+}
+
+TEST(Des, UtilizationFullWhenPerfectlyParallel)
+{
+    TaskGraph g;
+    for (unsigned t = 0; t < 4; ++t)
+        g.addTask(TaskKind::ChunkBody, t, 100.0);
+    Simulator sim(idealMachine(4));
+    EXPECT_NEAR(sim.run(g).utilization(), 1.0, 1e-12);
+}
+
+TEST(Des, UtilizationHalfWhenSerialized)
+{
+    TaskGraph g;
+    const TaskId a = g.addTask(TaskKind::ChunkBody, 0, 100.0);
+    const TaskId b = g.addTask(TaskKind::ChunkBody, 1, 100.0);
+    g.addDep(a, b);
+    Simulator sim(idealMachine(2));
+    EXPECT_NEAR(sim.run(g).utilization(), 0.5, 1e-12);
+}
+
+TEST(Des, CriticalPathFollowsChain)
+{
+    TaskGraph g;
+    const TaskId a = g.addTask(TaskKind::ChunkBody, 0, 100.0);
+    const TaskId b = g.addTask(TaskKind::ChunkBody, 1, 10.0);
+    const TaskId c = g.addTask(TaskKind::ChunkBody, 2, 100.0);
+    g.addDep(a, c);
+    g.addDep(b, c);
+    Simulator sim(idealMachine(4));
+    const Schedule s = sim.run(g);
+    const auto path = s.criticalPath();
+    ASSERT_EQ(path.size(), 2u);
+    EXPECT_EQ(path[0], a);
+    EXPECT_EQ(path[1], c);
+}
+
+TEST(Des, SyncWaitAttributedToCrossThreadDependency)
+{
+    TaskGraph g;
+    const TaskId slow = g.addTask(TaskKind::ChunkBody, 0, 1000.0);
+    const TaskId own = g.addTask(TaskKind::ChunkBody, 1, 10.0);
+    const TaskId waiter = g.addTask(TaskKind::ChunkBody, 1, 10.0);
+    g.addDep(slow, waiter);
+    (void)own;
+    Simulator sim(idealMachine(4));
+    const Schedule s = sim.run(g);
+    // Thread 1 finished its own work at t=10 and waited for thread 0
+    // until t=1000.
+    EXPECT_DOUBLE_EQ(s.syncWaitCycles, 990.0);
+}
+
+TEST(Des, OversubscriptionCompletesAllTasks)
+{
+    // 280 threads on 28 cores (streamcluster's Table I shape).
+    TaskGraph g;
+    for (unsigned t = 0; t < 280; ++t)
+        g.addTask(TaskKind::ChunkBody, t, 50.0);
+    Simulator sim(idealMachine(28));
+    const Schedule s = sim.run(g);
+    EXPECT_DOUBLE_EQ(s.makespan, 50.0 * 10);
+    EXPECT_EQ(s.tasks.size(), 280u);
+}
+
+TEST(Des, MakespanLowerBoundedByTotalWorkOverCores)
+{
+    TaskGraph g;
+    repro::util::Rng r(5);
+    for (unsigned t = 0; t < 50; ++t)
+        g.addTask(TaskKind::ChunkBody, t % 7, 10.0 + r.uniform() * 90.0);
+    Simulator sim(idealMachine(4));
+    const Schedule s = sim.run(g);
+    EXPECT_GE(s.makespan + 1e-9, g.totalWork() / 4.0);
+}
+
+} // namespace
+
+namespace timesharing {
+
+using repro::platform::MachineModel;
+using repro::platform::Schedule;
+using repro::platform::Simulator;
+using repro::trace::TaskGraph;
+using repro::trace::TaskKind;
+
+TEST(DesTimesharing, SlicedThreadsShareCoresFluidly)
+{
+    // 6 threads of sliced work on 4 cores: with fine slices the
+    // scheduler time-shares, so the makespan approaches total/cores
+    // rather than two full rounds.
+    MachineModel m = MachineModel::haswell(4);
+    m.syncOpCycles = 0.0;
+    m.contextSwitchCycles = 0.0;
+
+    TaskGraph g;
+    const unsigned threads = 6, slices = 10;
+    for (unsigned t = 0; t < threads; ++t) {
+        for (unsigned s = 0; s < slices; ++s)
+            g.addTask(TaskKind::ChunkBody, t, 100.0);
+    }
+    const Schedule sched = Simulator(m).run(g);
+    const double fluid = threads * slices * 100.0 / 4.0;
+    EXPECT_LT(sched.makespan, fluid * 1.2);
+}
+
+TEST(DesTimesharing, ContextSwitchesChargedWhenSharing)
+{
+    MachineModel m = MachineModel::haswell(2);
+    m.syncOpCycles = 0.0;
+    m.contextSwitchCycles = 100.0;
+    TaskGraph g;
+    for (unsigned t = 0; t < 4; ++t) {
+        for (unsigned s = 0; s < 4; ++s)
+            g.addTask(TaskKind::ChunkBody, t, 50.0);
+    }
+    const Schedule sched = Simulator(m).run(g);
+    EXPECT_GT(sched.contextSwitchCycles, 0.0);
+}
+
+TEST(DesTimesharing, AffinityAvoidsSwitchesWhenAlone)
+{
+    // One thread per core: no sharing, no context switches.
+    MachineModel m = MachineModel::haswell(4);
+    m.contextSwitchCycles = 100.0;
+    m.syncOpCycles = 0.0;
+    TaskGraph g;
+    for (unsigned t = 0; t < 4; ++t) {
+        for (unsigned s = 0; s < 5; ++s)
+            g.addTask(TaskKind::ChunkBody, t, 50.0);
+    }
+    const Schedule sched = Simulator(m).run(g);
+    EXPECT_DOUBLE_EQ(sched.contextSwitchCycles, 0.0);
+}
+
+} // namespace timesharing

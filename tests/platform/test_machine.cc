@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Unit tests for the machine model (platform/machine.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/machine.h"
+
+namespace {
+
+using repro::platform::MachineModel;
+
+TEST(MachineModel, Haswell28IsDualSocket)
+{
+    const auto m = MachineModel::haswell(28);
+    EXPECT_EQ(m.numCores, 28u);
+    EXPECT_EQ(m.coresPerSocket, 14u);
+    EXPECT_EQ(m.socketOf(0), 0u);
+    EXPECT_EQ(m.socketOf(13), 0u);
+    EXPECT_EQ(m.socketOf(14), 1u);
+    EXPECT_EQ(m.socketOf(27), 1u);
+}
+
+TEST(MachineModel, Haswell14IsSingleSocket)
+{
+    const auto m = MachineModel::haswell(14);
+    EXPECT_EQ(m.coresPerSocket, 14u);
+    EXPECT_EQ(m.socketOf(13), 0u);
+}
+
+TEST(MachineModel, SingleCore)
+{
+    const auto m = MachineModel::haswell(1);
+    EXPECT_EQ(m.numCores, 1u);
+    EXPECT_EQ(m.socketOf(0), 0u);
+}
+
+TEST(MachineModel, SecondsConversion)
+{
+    const auto m = MachineModel::haswell(28);
+    // 2.3 GHz: 2.3e9 cycles == 1 second.
+    EXPECT_DOUBLE_EQ(m.seconds(2.3e9), 1.0);
+}
+
+} // namespace

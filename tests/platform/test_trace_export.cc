@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for schedule visualization (platform/trace_export.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "platform/des.h"
+#include "platform/trace_export.h"
+
+namespace {
+
+using repro::platform::MachineModel;
+using repro::platform::Simulator;
+using repro::trace::TaskGraph;
+using repro::trace::TaskKind;
+
+TaskGraph
+smallGraph()
+{
+    TaskGraph g;
+    const auto a = g.addTask(TaskKind::Setup, 0, 100.0);
+    const auto b = g.addTask(TaskKind::ChunkBody, 1, 400.0, 0);
+    const auto c = g.addTask(TaskKind::AltProducer, 2, 200.0, 1);
+    g.addDep(a, b);
+    g.addDep(a, c);
+    return g;
+}
+
+MachineModel
+quietMachine()
+{
+    MachineModel m = MachineModel::haswell(4);
+    m.syncOpCycles = 0.0;
+    m.contextSwitchCycles = 0.0;
+    return m;
+}
+
+TEST(ChromeTrace, ValidJsonArrayWithOneEventPerTask)
+{
+    const TaskGraph g = smallGraph();
+    const auto sched = Simulator(quietMachine()).run(g);
+    std::ostringstream os;
+    repro::platform::writeChromeTrace(sched, g, os);
+    const std::string out = os.str();
+    EXPECT_EQ(out.front(), '[');
+    EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(out.find("\"name\":\"chunk-body\""), std::string::npos);
+    EXPECT_NE(out.find("\"name\":\"alt-producer\""), std::string::npos);
+    // Three events -> two separating commas.
+    std::size_t commas = 0;
+    for (std::size_t pos = out.find("},"); pos != std::string::npos;
+         pos = out.find("},", pos + 1))
+        ++commas;
+    EXPECT_EQ(commas, 2u);
+}
+
+TEST(ChromeTrace, SkipsZeroDurationEvents)
+{
+    TaskGraph g;
+    g.addTask(TaskKind::Sync, 0, 0.0);
+    g.addTask(TaskKind::ChunkBody, 0, 10.0);
+    const auto sched = Simulator(quietMachine()).run(g);
+    std::ostringstream os;
+    repro::platform::writeChromeTrace(sched, g, os);
+    EXPECT_EQ(os.str().find("\"name\":\"sync\""), std::string::npos);
+}
+
+TEST(AsciiTimeline, RowsPerCoreAndLegend)
+{
+    const TaskGraph g = smallGraph();
+    const auto sched = Simulator(quietMachine()).run(g);
+    const std::string out =
+        repro::platform::asciiTimeline(sched, g, 40);
+    EXPECT_NE(out.find("core  0"), std::string::npos);
+    EXPECT_NE(out.find("core  3"), std::string::npos);
+    EXPECT_NE(out.find("legend:"), std::string::npos);
+    // The body is the longest task: its glyph must appear.
+    EXPECT_NE(out.find('B'), std::string::npos);
+    EXPECT_NE(out.find('A'), std::string::npos);
+    EXPECT_NE(out.find('U'), std::string::npos);
+}
+
+TEST(AsciiTimeline, EmptySchedule)
+{
+    TaskGraph g;
+    const auto sched = Simulator(quietMachine()).run(g);
+    EXPECT_EQ(repro::platform::asciiTimeline(sched, g),
+              "(empty schedule)\n");
+}
+
+TEST(Glyphs, AllKindsDistinct)
+{
+    std::set<char> glyphs;
+    for (std::size_t k = 0; k < repro::trace::kNumTaskKinds; ++k) {
+        glyphs.insert(repro::platform::taskKindGlyph(
+            static_cast<TaskKind>(k)));
+    }
+    EXPECT_EQ(glyphs.size(), repro::trace::kNumTaskKinds);
+}
+
+} // namespace

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for operation accounting (trace/op_counter.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/op_counter.h"
+
+namespace {
+
+using repro::trace::OpCounter;
+using repro::trace::TaskKind;
+
+TEST(OpCounter, StartsAtZero)
+{
+    OpCounter c;
+    EXPECT_EQ(c.total(), 0u);
+    EXPECT_EQ(c.overheadTotal(), 0u);
+}
+
+TEST(OpCounter, TickAccumulates)
+{
+    OpCounter c;
+    c.tick(TaskKind::ChunkBody, 100);
+    c.tick(TaskKind::ChunkBody, 50);
+    c.tick(TaskKind::AltProducer, 30);
+    EXPECT_EQ(c.count(TaskKind::ChunkBody), 150u);
+    EXPECT_EQ(c.count(TaskKind::AltProducer), 30u);
+    EXPECT_EQ(c.total(), 180u);
+}
+
+TEST(OpCounter, OverheadExcludesBodyAndSeqCode)
+{
+    OpCounter c;
+    c.tick(TaskKind::ChunkBody, 100);
+    c.tick(TaskKind::SeqCode, 100);
+    c.tick(TaskKind::StateCopy, 7);
+    c.tick(TaskKind::Setup, 3);
+    EXPECT_EQ(c.overheadTotal(), 10u);
+}
+
+TEST(OpCounter, MergeAddsBuckets)
+{
+    OpCounter a, b;
+    a.tick(TaskKind::Sync, 5);
+    b.tick(TaskKind::Sync, 7);
+    b.tick(TaskKind::StateCompare, 2);
+    a.merge(b);
+    EXPECT_EQ(a.count(TaskKind::Sync), 12u);
+    EXPECT_EQ(a.count(TaskKind::StateCompare), 2u);
+}
+
+TEST(OpCounter, TransferMovesCounts)
+{
+    OpCounter c;
+    c.tick(TaskKind::ChunkBody, 100);
+    c.transfer(TaskKind::ChunkBody, TaskKind::MispecReExec, 40);
+    EXPECT_EQ(c.count(TaskKind::ChunkBody), 60u);
+    EXPECT_EQ(c.count(TaskKind::MispecReExec), 40u);
+    EXPECT_EQ(c.total(), 100u);
+}
+
+TEST(OpCounter, TransferClampsToAvailable)
+{
+    OpCounter c;
+    c.tick(TaskKind::ChunkBody, 10);
+    c.transfer(TaskKind::ChunkBody, TaskKind::MispecReExec, 99);
+    EXPECT_EQ(c.count(TaskKind::ChunkBody), 0u);
+    EXPECT_EQ(c.count(TaskKind::MispecReExec), 10u);
+}
+
+TEST(OpCounter, ResetClears)
+{
+    OpCounter c;
+    c.tick(TaskKind::Setup, 9);
+    c.reset();
+    EXPECT_EQ(c.total(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the task graph (trace/task_graph.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "trace/task_graph.h"
+
+namespace {
+
+using repro::trace::TaskGraph;
+using repro::trace::TaskId;
+using repro::trace::TaskKind;
+
+TEST(TaskGraph, EmptyGraph)
+{
+    TaskGraph g;
+    EXPECT_TRUE(g.empty());
+    EXPECT_EQ(g.size(), 0u);
+    EXPECT_EQ(g.numThreads(), 0u);
+    EXPECT_TRUE(g.isAcyclic());
+    EXPECT_TRUE(g.topologicalOrder().empty());
+}
+
+TEST(TaskGraph, ImplicitProgramOrderSameThread)
+{
+    TaskGraph g;
+    const TaskId a = g.addTask(TaskKind::ChunkBody, 0, 1.0);
+    const TaskId b = g.addTask(TaskKind::ChunkBody, 0, 1.0);
+    ASSERT_EQ(g.task(b).deps.size(), 1u);
+    EXPECT_EQ(g.task(b).deps[0], a);
+}
+
+TEST(TaskGraph, NoImplicitOrderAcrossThreads)
+{
+    TaskGraph g;
+    g.addTask(TaskKind::ChunkBody, 0, 1.0);
+    const TaskId b = g.addTask(TaskKind::ChunkBody, 1, 1.0);
+    EXPECT_TRUE(g.task(b).deps.empty());
+}
+
+TEST(TaskGraph, DetachedSkipsProgramOrder)
+{
+    TaskGraph g;
+    g.addTask(TaskKind::ChunkBody, 0, 1.0);
+    const TaskId b = g.addTask(TaskKind::ChunkBody, 0, 1.0,
+                               repro::trace::kNoChunk, 0, true);
+    EXPECT_TRUE(g.task(b).deps.empty());
+}
+
+TEST(TaskGraph, DuplicateEdgeIgnored)
+{
+    TaskGraph g;
+    const TaskId a = g.addTask(TaskKind::ChunkBody, 0, 1.0);
+    const TaskId b = g.addTask(TaskKind::ChunkBody, 1, 1.0);
+    g.addDep(a, b);
+    g.addDep(a, b);
+    EXPECT_EQ(g.task(b).deps.size(), 1u);
+}
+
+TEST(TaskGraph, TopologicalOrderRespectsDeps)
+{
+    TaskGraph g;
+    const TaskId a = g.addTask(TaskKind::ChunkBody, 0, 1.0);
+    const TaskId b = g.addTask(TaskKind::ChunkBody, 1, 1.0);
+    const TaskId c = g.addTask(TaskKind::Sync, 2, 0.0);
+    g.addDep(a, c);
+    g.addDep(b, c);
+    const auto order = g.topologicalOrder();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order.back(), c);
+}
+
+TEST(TaskGraph, ThreadCount)
+{
+    TaskGraph g;
+    g.addTask(TaskKind::ChunkBody, 0, 1.0);
+    g.addTask(TaskKind::ChunkBody, 5, 1.0);
+    g.addTask(TaskKind::ChunkBody, 5, 1.0);
+    EXPECT_EQ(g.numThreads(), 2u);
+}
+
+TEST(TaskGraph, WorkByKind)
+{
+    TaskGraph g;
+    g.addTask(TaskKind::ChunkBody, 0, 10.0);
+    g.addTask(TaskKind::AltProducer, 1, 5.0);
+    g.addTask(TaskKind::AltProducer, 2, 7.0);
+    const auto sums = g.workByKind();
+    EXPECT_DOUBLE_EQ(
+        sums[static_cast<std::size_t>(TaskKind::ChunkBody)], 10.0);
+    EXPECT_DOUBLE_EQ(
+        sums[static_cast<std::size_t>(TaskKind::AltProducer)], 12.0);
+    EXPECT_DOUBLE_EQ(g.totalWork(), 22.0);
+}
+
+TEST(TaskGraph, CycleDetected)
+{
+    TaskGraph g;
+    const TaskId a = g.addTask(TaskKind::ChunkBody, 0, 1.0);
+    const TaskId b = g.addTask(TaskKind::ChunkBody, 1, 1.0);
+    g.addDep(a, b);
+    g.addDep(b, a);
+    EXPECT_FALSE(g.isAcyclic());
+}
+
+TEST(TaskGraphDeathTest, SelfDependencyPanics)
+{
+    TaskGraph g;
+    const TaskId a = g.addTask(TaskKind::ChunkBody, 0, 1.0);
+    EXPECT_DEATH(g.addDep(a, a), "cannot depend on itself");
+}
+
+TEST(TaskGraphDeathTest, NegativeWorkPanics)
+{
+    TaskGraph g;
+    EXPECT_DEATH(g.addTask(TaskKind::ChunkBody, 0, -1.0), "non-negative");
+}
+
+TEST(TaskKindNames, AllDistinct)
+{
+    std::set<std::string> names;
+    for (std::size_t k = 0; k < repro::trace::kNumTaskKinds; ++k) {
+        names.insert(repro::trace::taskKindName(
+            static_cast<TaskKind>(k)));
+    }
+    EXPECT_EQ(names.size(), repro::trace::kNumTaskKinds);
+}
+
+TEST(TaskKinds, OverheadClassification)
+{
+    using repro::trace::isOverheadKind;
+    EXPECT_FALSE(isOverheadKind(TaskKind::ChunkBody));
+    EXPECT_FALSE(isOverheadKind(TaskKind::SeqCode));
+    EXPECT_TRUE(isOverheadKind(TaskKind::AltProducer));
+    EXPECT_TRUE(isOverheadKind(TaskKind::OriginalStateGen));
+    EXPECT_TRUE(isOverheadKind(TaskKind::StateCompare));
+    EXPECT_TRUE(isOverheadKind(TaskKind::StateCopy));
+    EXPECT_TRUE(isOverheadKind(TaskKind::Setup));
+    EXPECT_TRUE(isOverheadKind(TaskKind::Sync));
+    EXPECT_TRUE(isOverheadKind(TaskKind::MispecReExec));
+}
+
+} // namespace

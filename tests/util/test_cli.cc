@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Unit tests for command-line parsing (util/cli.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/cli.h"
+
+namespace {
+
+using repro::util::Cli;
+
+Cli
+make(std::initializer_list<const char *> argv)
+{
+    std::vector<const char *> v(argv);
+    return Cli(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Cli, ParsesKeyValue)
+{
+    const Cli c = make({"prog", "--cores=28", "--seed=7"});
+    EXPECT_EQ(c.getInt("cores", 0), 28);
+    EXPECT_EQ(c.getInt("seed", 0), 7);
+}
+
+TEST(Cli, DefaultsWhenAbsent)
+{
+    const Cli c = make({"prog"});
+    EXPECT_EQ(c.getInt("cores", 14), 14);
+    EXPECT_DOUBLE_EQ(c.getDouble("scale", 0.5), 0.5);
+    EXPECT_EQ(c.getString("name", "x"), "x");
+    EXPECT_FALSE(c.getBool("csv", false));
+}
+
+TEST(Cli, BareFlagIsTrue)
+{
+    const Cli c = make({"prog", "--csv"});
+    EXPECT_TRUE(c.has("csv"));
+    EXPECT_TRUE(c.getBool("csv", false));
+}
+
+TEST(Cli, ExplicitBooleans)
+{
+    const Cli c = make({"prog", "--a=true", "--b=0", "--c=yes"});
+    EXPECT_TRUE(c.getBool("a", false));
+    EXPECT_FALSE(c.getBool("b", true));
+    EXPECT_TRUE(c.getBool("c", false));
+}
+
+TEST(Cli, PositionalArguments)
+{
+    const Cli c = make({"prog", "one", "--k=v", "two"});
+    ASSERT_EQ(c.positional().size(), 2u);
+    EXPECT_EQ(c.positional()[0], "one");
+    EXPECT_EQ(c.positional()[1], "two");
+}
+
+TEST(Cli, DoubleParsing)
+{
+    const Cli c = make({"prog", "--scale=0.25"});
+    EXPECT_DOUBLE_EQ(c.getDouble("scale", 1.0), 0.25);
+}
+
+TEST(Cli, ProgramName)
+{
+    const Cli c = make({"myprog"});
+    EXPECT_EQ(c.program(), "myprog");
+}
+
+} // namespace

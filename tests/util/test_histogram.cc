@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for text histograms (util/histogram.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/histogram.h"
+
+namespace {
+
+using repro::util::Histogram;
+
+TEST(Histogram, BinAssignment)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);  // Bin 0.
+    h.add(5.5);  // Bin 5.
+    h.add(9.99); // Bin 9.
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(5), 1u);
+    EXPECT_EQ(h.count(9), 1u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-5.0);
+    h.add(7.0);
+    h.add(1.0); // Upper edge clamps into the last bin.
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(3), 2u);
+}
+
+TEST(Histogram, BinLowEdges)
+{
+    Histogram h(2.0, 4.0, 4);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.binLow(2), 3.0);
+}
+
+TEST(Histogram, RenderContainsCounts)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.1);
+    h.add(0.1);
+    h.add(0.9);
+    const std::string out = h.render(10);
+    EXPECT_NE(out.find("##########"), std::string::npos); // Peak bar.
+    EXPECT_NE(out.find(" 2"), std::string::npos);
+    EXPECT_NE(out.find(" 1"), std::string::npos);
+}
+
+TEST(Histogram, SparklineWidthEqualsBins)
+{
+    Histogram h(0.0, 1.0, 12);
+    h.add(0.5);
+    EXPECT_EQ(h.sparkline().size(), 12u);
+}
+
+TEST(Histogram, SparklinePeakIsHash)
+{
+    Histogram h(0.0, 1.0, 4);
+    for (int i = 0; i < 8; ++i)
+        h.add(0.1);
+    h.add(0.9);
+    const std::string s = h.sparkline();
+    EXPECT_EQ(s[0], '#');
+    EXPECT_EQ(s[1], ' ');
+}
+
+TEST(Histogram, HistogramOfSpansData)
+{
+    std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    const Histogram h = repro::util::histogramOf(xs, 3);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 1.0);
+}
+
+TEST(Histogram, HistogramOfConstantData)
+{
+    std::vector<double> xs{5.0, 5.0, 5.0};
+    const Histogram h = repro::util::histogramOf(xs, 4);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.count(0), 3u);
+}
+
+TEST(HistogramDeathTest, EmptyRangePanics)
+{
+    EXPECT_DEATH(Histogram(1.0, 1.0, 4), "non-empty");
+}
+
+} // namespace

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG (util/rng.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/statistics.h"
+
+namespace {
+
+using repro::util::OnlineStats;
+using repro::util::Rng;
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDifferentSequences)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        equal += a() == b() ? 1 : 0;
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ZeroSeedStillProduces)
+{
+    Rng r(0);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 100; ++i)
+        seen.insert(r());
+    EXPECT_GT(seen.size(), 95u);
+}
+
+TEST(Rng, SplitIsDeterministic)
+{
+    Rng parent(7);
+    Rng a = parent.split(3);
+    Rng b = Rng(7).split(3);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(a(), b());
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated)
+{
+    Rng parent(7);
+    Rng a = parent.split(1);
+    Rng b = parent.split(2);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        equal += a() == b() ? 1 : 0;
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SplitDoesNotAdvanceParent)
+{
+    Rng p1(9), p2(9);
+    (void)p1.split(5);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(p1(), p2());
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng r(12);
+    OnlineStats s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(r.uniform());
+    EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng r(13);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform(-3.0, 5.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntIsUnbiased)
+{
+    Rng r(14);
+    std::vector<int> hist(7, 0);
+    const int draws = 70000;
+    for (int i = 0; i < draws; ++i)
+        ++hist[r.uniformInt(7)];
+    for (int bucket : hist)
+        EXPECT_NEAR(bucket, draws / 7, draws / 7 * 0.1);
+}
+
+TEST(Rng, UniformIntOneAlwaysZero)
+{
+    Rng r(15);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(r.uniformInt(1), 0u);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(16);
+    OnlineStats s;
+    for (int i = 0; i < 200000; ++i)
+        s.add(r.gaussian());
+    EXPECT_NEAR(s.mean(), 0.0, 0.02);
+    EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, GaussianShifted)
+{
+    Rng r(17);
+    OnlineStats s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(r.gaussian(10.0, 2.0));
+    EXPECT_NEAR(s.mean(), 10.0, 0.05);
+    EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng r(18);
+    OnlineStats s;
+    for (int i = 0; i < 200000; ++i)
+        s.add(r.exponential(4.0));
+    EXPECT_NEAR(s.mean(), 0.25, 0.01);
+    EXPECT_GE(s.min(), 0.0);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng r(19);
+    int hits = 0;
+    const int draws = 100000;
+    for (int i = 0; i < draws; ++i)
+        hits += r.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / static_cast<double>(draws), 0.3, 0.01);
+}
+
+TEST(Rng, SeedAccessor)
+{
+    EXPECT_EQ(Rng(1234).seed(), 1234u);
+}
+
+} // namespace

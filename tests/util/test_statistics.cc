@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for descriptive statistics and the paper's §IV-B
+ * convergence rule (util/statistics.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/statistics.h"
+
+namespace {
+
+using repro::util::ConvergenceRunner;
+using repro::util::OnlineStats;
+using repro::util::Rng;
+
+TEST(OnlineStats, EmptyDefaults)
+{
+    OnlineStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue)
+{
+    OnlineStats s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.mean(), 5.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 5.0);
+    EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, KnownMoments)
+{
+    OnlineStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential)
+{
+    OnlineStats all, a, b;
+    Rng r(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = r.gaussian(3.0, 2.0);
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeIntoEmpty)
+{
+    OnlineStats a, b;
+    b.add(1.0);
+    b.add(2.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+}
+
+TEST(Median, OddAndEven)
+{
+    EXPECT_DOUBLE_EQ(repro::util::median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(repro::util::median({4.0, 1.0, 3.0, 2.0}), 2.5);
+    EXPECT_DOUBLE_EQ(repro::util::median({7.0}), 7.0);
+}
+
+TEST(Percentile, Endpoints)
+{
+    std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+    EXPECT_DOUBLE_EQ(repro::util::percentile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(repro::util::percentile(xs, 100.0), 5.0);
+    EXPECT_DOUBLE_EQ(repro::util::percentile(xs, 50.0), 3.0);
+    EXPECT_DOUBLE_EQ(repro::util::percentile(xs, 25.0), 2.0);
+}
+
+TEST(FractionWithinOfMedian, AllEqual)
+{
+    EXPECT_DOUBLE_EQ(
+        repro::util::fractionWithinOfMedian({2.0, 2.0, 2.0}, 0.05), 1.0);
+}
+
+TEST(FractionWithinOfMedian, Outlier)
+{
+    // Median of {10,10,10,100} = 10; only the 100 falls outside 5%.
+    EXPECT_DOUBLE_EQ(repro::util::fractionWithinOfMedian(
+                         {10.0, 10.0, 10.0, 100.0}, 0.05),
+                     0.75);
+}
+
+TEST(ConvergenceRunner, StableMeasurementConvergesAtMinRuns)
+{
+    ConvergenceRunner runner(0.95, 0.05, 3, 100);
+    int calls = 0;
+    const auto res = runner.run([&] {
+        ++calls;
+        return 10.0;
+    });
+    EXPECT_TRUE(res.converged);
+    EXPECT_EQ(calls, 3);
+    EXPECT_DOUBLE_EQ(res.median, 10.0);
+    EXPECT_DOUBLE_EQ(res.mean, 10.0);
+}
+
+TEST(ConvergenceRunner, NoisyMeasurementNeedsMoreRuns)
+{
+    // 10% of samples are 2x outliers: needs enough samples for 95% of
+    // them to sit within 5% of the median.
+    Rng r(21);
+    ConvergenceRunner runner(0.95, 0.05, 3, 2000);
+    const auto res = runner.run([&] {
+        return r.bernoulli(0.04) ? 20.0 : 10.0 + r.uniform(-0.1, 0.1);
+    });
+    EXPECT_TRUE(res.converged);
+    EXPECT_NEAR(res.median, 10.0, 0.2);
+    EXPECT_GE(res.samples.size(), 3u);
+}
+
+TEST(ConvergenceRunner, HopelessMeasurementHitsCap)
+{
+    // Uniform over a wide range never satisfies the 95%-within-5% rule.
+    Rng r(22);
+    ConvergenceRunner runner(0.95, 0.05, 3, 50);
+    const auto res = runner.run([&] { return r.uniform(1.0, 100.0); });
+    EXPECT_FALSE(res.converged);
+    EXPECT_EQ(res.samples.size(), 50u);
+}
+
+TEST(ConfidenceHalfWidth, ShrinksWithSamples)
+{
+    Rng r(23);
+    OnlineStats small, large;
+    for (int i = 0; i < 10; ++i)
+        small.add(r.gaussian(5.0, 1.0));
+    for (int i = 0; i < 1000; ++i)
+        large.add(r.gaussian(5.0, 1.0));
+    EXPECT_GT(repro::util::confidenceHalfWidth95(small),
+              repro::util::confidenceHalfWidth95(large));
+}
+
+} // namespace

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for table rendering (util/table.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.h"
+
+namespace {
+
+using repro::util::Table;
+
+TEST(Format, Double)
+{
+    EXPECT_EQ(repro::util::formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(repro::util::formatDouble(10.0, 0), "10");
+    EXPECT_EQ(repro::util::formatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(Format, Percent)
+{
+    EXPECT_EQ(repro::util::formatPercent(0.423), "42.3%");
+    EXPECT_EQ(repro::util::formatPercent(1.0, 0), "100%");
+}
+
+TEST(Format, Bytes)
+{
+    EXPECT_EQ(repro::util::formatBytes(24), "24 B");
+    EXPECT_EQ(repro::util::formatBytes(8000), "8 KB");
+    EXPECT_EQ(repro::util::formatBytes(500000), "500 KB");
+    EXPECT_EQ(repro::util::formatBytes(2 * 1000 * 1000), "2 MB");
+    EXPECT_EQ(repro::util::formatBytes(2097152), "2.1 MB");
+    EXPECT_EQ(repro::util::formatBytes(504008), "504 KB");
+}
+
+TEST(Table, AlignedOutputContainsAllCells)
+{
+    Table t({"Benchmark", "#Threads"});
+    t.addRow({"swaptions", "36"});
+    t.addRow({"bodytrack", "74"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Benchmark"), std::string::npos);
+    EXPECT_NE(out.find("swaptions"), std::string::npos);
+    EXPECT_NE(out.find("74"), std::string::npos);
+    // Header rule present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes)
+{
+    Table t({"a", "b"});
+    t.addRow({"x,y", "say \"hi\""});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, RowAndColumnCounts)
+{
+    Table t({"a", "b", "c"});
+    EXPECT_EQ(t.columns(), 3u);
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"1", "2", "3"});
+    EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(TableDeathTest, MismatchedRowWidthPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+} // namespace

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for shared workload helpers (workloads/common.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workloads/common.h"
+
+namespace {
+
+using repro::workloads::Point2;
+
+TEST(Distance, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(repro::workloads::distance({0, 0}, {3, 4}), 5.0);
+    EXPECT_DOUBLE_EQ(repro::workloads::distanceSq({0, 0}, {3, 4}), 25.0);
+    EXPECT_DOUBLE_EQ(repro::workloads::distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(NormalCdf, KnownValues)
+{
+    EXPECT_NEAR(repro::workloads::normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(repro::workloads::normalCdf(1.959963985), 0.975, 1e-6);
+    EXPECT_NEAR(repro::workloads::normalCdf(-1.959963985), 0.025, 1e-6);
+}
+
+TEST(BlackSwaption, AtTheMoneyValue)
+{
+    // ATM Black price: A * F * (2 * Phi(sigma * sqrt(T) / 2) - 1).
+    const double f = 0.04, vol = 0.2, t = 1.0, a = 4.0;
+    const double expected =
+        a * f * (2.0 * repro::workloads::normalCdf(vol * std::sqrt(t) / 2) -
+                 1.0);
+    EXPECT_NEAR(repro::workloads::blackSwaptionPrice(f, f, vol, t, a),
+                expected, 1e-12);
+}
+
+TEST(BlackSwaption, DeepInTheMoneyApproachesIntrinsic)
+{
+    const double price = repro::workloads::blackSwaptionPrice(
+        0.08, 0.04, 0.05, 0.25, 4.0);
+    EXPECT_NEAR(price, 4.0 * 0.04, 1e-3);
+}
+
+TEST(BlackSwaption, MonotonicInVol)
+{
+    const double lo =
+        repro::workloads::blackSwaptionPrice(0.04, 0.04, 0.1, 1.0, 4.0);
+    const double hi =
+        repro::workloads::blackSwaptionPrice(0.04, 0.04, 0.3, 1.0, 4.0);
+    EXPECT_LT(lo, hi);
+}
+
+TEST(SmoothTrajectory, DeterministicAndBounded)
+{
+    for (unsigned ch = 0; ch < 8; ++ch) {
+        for (double t = 0; t < 500; t += 13.7) {
+            const double v =
+                repro::workloads::smoothTrajectory(t, ch, 10.0);
+            EXPECT_DOUBLE_EQ(
+                v, repro::workloads::smoothTrajectory(t, ch, 10.0));
+            EXPECT_LE(std::abs(v), 10.0);
+        }
+    }
+}
+
+TEST(SmoothTrajectory, ChannelsDiffer)
+{
+    EXPECT_NE(repro::workloads::smoothTrajectory(10.0, 0, 5.0),
+              repro::workloads::smoothTrajectory(10.0, 1, 5.0));
+}
+
+TEST(DriftingCenters, CountAndRange)
+{
+    const auto centers =
+        repro::workloads::driftingCenters(3.0, 4, 100.0, 8.0);
+    ASSERT_EQ(centers.size(), 4u);
+    for (const auto &c : centers) {
+        EXPECT_GT(c.x, 0.0);
+        EXPECT_LT(c.x, 100.0);
+        EXPECT_GT(c.y, 0.0);
+        EXPECT_LT(c.y, 100.0);
+    }
+}
+
+TEST(DriftingCenters, ZeroAmplitudeIsStatic)
+{
+    const auto a = repro::workloads::driftingCenters(0.0, 4, 100.0, 0.0);
+    const auto b = repro::workloads::driftingCenters(57.0, 4, 100.0, 0.0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].x, b[i].x);
+        EXPECT_DOUBLE_EQ(a[i].y, b[i].y);
+    }
+}
+
+TEST(GreedyMatchCost, IdenticalSetsZero)
+{
+    std::vector<Point2> a{{1, 2}, {3, 4}, {5, 6}};
+    EXPECT_DOUBLE_EQ(repro::workloads::greedyMatchCost(a, a), 0.0);
+}
+
+TEST(GreedyMatchCost, PermutedSetsZero)
+{
+    std::vector<Point2> a{{1, 2}, {30, 40}};
+    std::vector<Point2> b{{30, 40}, {1, 2}};
+    EXPECT_DOUBLE_EQ(repro::workloads::greedyMatchCost(a, b), 0.0);
+}
+
+TEST(GreedyMatchCost, ShiftedSets)
+{
+    std::vector<Point2> a{{0, 0}, {10, 0}};
+    std::vector<Point2> b{{0, 1}, {10, 1}};
+    EXPECT_DOUBLE_EQ(repro::workloads::greedyMatchCost(a, b), 2.0);
+}
+
+} // namespace

@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Per-kernel behaviour tests for the six benchmark workloads.
+ *
+ * These validate the algorithmic properties the characterization rests
+ * on: Monte-Carlo convergence to the Black price (swaptions), tracking
+ * accuracy and cold-start re-acquisition (the particle filters), the
+ * staleness-dependent refinement costs of the stream kernels (§V-C),
+ * and the structural parameters of Table I.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/state_model.h"
+#include "workloads/bodytrack.h"
+#include "workloads/facedet_track.h"
+#include "workloads/facetrack.h"
+#include "workloads/streamclassifier.h"
+#include "workloads/streamcluster.h"
+#include "workloads/swaptions.h"
+
+namespace {
+
+using repro::core::ExecContext;
+using repro::core::StateHandle;
+using repro::trace::OpCounter;
+using repro::trace::TaskKind;
+using repro::util::Rng;
+using namespace repro::workloads;
+
+ExecContext
+ctx(std::uint64_t seed, OpCounter *ops = nullptr)
+{
+    return ExecContext(Rng(seed), ops, TaskKind::ChunkBody);
+}
+
+// ---------------------------------------------------------------- swaptions
+
+TEST(Swaptions, EstimateConvergesToBlackPrice)
+{
+    SwaptionsParams p;
+    p.inputs = 400;
+    const SwaptionsModel m(p);
+    StateHandle s = m.initialState();
+    auto c = ctx(7);
+    double out = 0.0;
+    for (std::size_t i = 0; i < p.inputs; ++i)
+        out = m.update(*s, i, c);
+    EXPECT_NEAR(out, m.oraclePrice(), 0.002);
+}
+
+TEST(Swaptions, StateIs24Bytes)
+{
+    const SwaptionsModel m(SwaptionsParams{});
+    EXPECT_EQ(m.stateSizeBytes(), 24u);
+    EXPECT_EQ(sizeof(double) * 3, 24u);
+}
+
+TEST(Swaptions, MatchesWithinTolerance)
+{
+    // Tolerance is 0.006 on the price estimate.
+    const SwaptionsModel m(SwaptionsParams{});
+    SwaptionsState a, b;
+    a.count = 100.0;
+    b.count = 100.0;
+    a.sum = 100.0 * 0.010; // Estimate 0.010.
+    b.sum = 100.0 * 0.014; // Estimate 0.014: within tolerance.
+    EXPECT_TRUE(m.matches(a, b));
+    b.sum = 100.0 * 0.020; // Estimate 0.020: outside tolerance.
+    EXPECT_FALSE(m.matches(a, b));
+}
+
+TEST(Swaptions, EmptyStateNeverMatches)
+{
+    const SwaptionsModel m(SwaptionsParams{});
+    SwaptionsState empty, full;
+    full.sum = 1.0;
+    full.count = 100.0;
+    EXPECT_FALSE(m.matches(empty, full));
+}
+
+TEST(Swaptions, OpsTickedPerBatch)
+{
+    SwaptionsParams p;
+    const SwaptionsModel m(p);
+    StateHandle s = m.initialState();
+    OpCounter ops;
+    auto c = ctx(1, &ops);
+    m.update(*s, 0, c);
+    EXPECT_EQ(ops.count(TaskKind::ChunkBody),
+              p.pathsPerInput * p.opsPerPath);
+}
+
+TEST(Swaptions, QualityIsDistanceToOracle)
+{
+    const SwaptionsWorkload w(0.2);
+    std::vector<double> outputs(10, 0.0);
+    const auto &m = static_cast<const SwaptionsModel &>(w.model());
+    outputs.back() = m.oraclePrice();
+    EXPECT_DOUBLE_EQ(w.quality(outputs), 0.0);
+    outputs.back() = m.oraclePrice() + 0.01;
+    EXPECT_NEAR(w.quality(outputs), 0.01, 1e-12);
+}
+
+// ------------------------------------------------------------ streamcluster
+
+TEST(Streamcluster, InputDataIsRunIndependent)
+{
+    const StreamclusterWorkload a(0.1), b(0.1);
+    ASSERT_EQ(a.points().size(), b.points().size());
+    for (std::size_t i = 0; i < a.points().size(); i += 97) {
+        EXPECT_DOUBLE_EQ(a.points()[i].x, b.points()[i].x);
+        EXPECT_DOUBLE_EQ(a.points()[i].y, b.points()[i].y);
+    }
+}
+
+TEST(Streamcluster, TracksDriftingCenters)
+{
+    const StreamclusterWorkload w(0.2);
+    const auto &m = w.model();
+    StateHandle s = m.initialState();
+    auto c = ctx(3);
+    double last = 0.0;
+    for (std::size_t i = 0; i < m.numInputs(); ++i)
+        last = m.update(*s, i, c);
+    // Mean point-to-facility distance should be around the point noise,
+    // far below the arena scale.
+    EXPECT_LT(last, 8.0);
+}
+
+TEST(Streamcluster, StaleStateCostsMoreThanFreshState)
+{
+    // The §V-C mechanism: a facility set carrying maximal weight needs
+    // more refinement iterations per batch than a light one.
+    const StreamclusterWorkload w(0.2);
+    const auto &m =
+        static_cast<const StreamclusterModel &>(w.model());
+
+    // Warm (heavy) state: run half the stream.
+    StateHandle heavy = m.initialState();
+    {
+        auto c = ctx(5);
+        for (std::size_t i = 0; i < m.numInputs() / 2; ++i)
+            m.update(*heavy, i, c);
+    }
+    StateHandle fresh = m.coldState();
+    // Fresh state processes a couple of batches to lock on.
+    {
+        auto c = ctx(6);
+        m.update(*fresh, m.numInputs() / 2 - 2, c);
+        m.update(*fresh, m.numInputs() / 2 - 1, c);
+    }
+
+    OpCounter heavy_ops, fresh_ops;
+    {
+        auto c = ExecContext(Rng(7), &heavy_ops, TaskKind::ChunkBody);
+        for (std::size_t i = m.numInputs() / 2;
+             i < m.numInputs() / 2 + 20; ++i)
+            m.update(*heavy, i, c);
+    }
+    {
+        auto c = ExecContext(Rng(7), &fresh_ops, TaskKind::ChunkBody);
+        for (std::size_t i = m.numInputs() / 2;
+             i < m.numInputs() / 2 + 20; ++i)
+            m.update(*fresh, i, c);
+    }
+    EXPECT_GT(heavy_ops.total(), fresh_ops.total());
+}
+
+TEST(Streamcluster, MatchesToleratesSmallPerturbation)
+{
+    const StreamclusterWorkload w(0.1);
+    const auto &m = w.model();
+    StateHandle s = m.initialState();
+    auto c = ctx(9);
+    for (std::size_t i = 0; i < 40; ++i)
+        m.update(*s, i, c);
+    StateHandle t = s->clone();
+    auto &ts = static_cast<StreamclusterState &>(*t);
+    ts.centers[0].x += 0.5;
+    EXPECT_TRUE(m.matches(*s, *t));
+    ts.centers[0].x += 50.0;
+    EXPECT_FALSE(m.matches(*s, *t));
+}
+
+TEST(Streamcluster, StateSizeMatchesTable1)
+{
+    const StreamclusterWorkload w(0.1);
+    EXPECT_EQ(w.model().stateSizeBytes(), 104u);
+}
+
+// --------------------------------------------------------- streamclassifier
+
+TEST(Streamclassifier, LearnsToClassify)
+{
+    const StreamclassifierWorkload w(0.25);
+    const auto &m = w.model();
+    StateHandle s = m.initialState();
+    auto c = ctx(11);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m.numInputs(); ++i)
+        acc = m.update(*s, i, c);
+    EXPECT_GT(acc, 0.8);
+}
+
+TEST(Streamclassifier, QualityIsErrorRate)
+{
+    const StreamclassifierWorkload w(0.25);
+    std::vector<double> outputs(100, 0.9);
+    EXPECT_NEAR(w.quality(outputs), 0.1, 1e-9);
+}
+
+TEST(Streamclassifier, ColdStartRecoversAccuracyEstimate)
+{
+    const StreamclassifierWorkload w(0.25);
+    const auto &m = w.model();
+    StateHandle s = m.coldState();
+    auto c = ctx(13);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < 60; ++i)
+        acc = m.update(*s, i, c);
+    EXPECT_GT(acc, 0.7);
+}
+
+TEST(Streamclassifier, StateSizeMatchesTable1)
+{
+    const StreamclassifierWorkload w(0.25);
+    EXPECT_EQ(w.model().stateSizeBytes(), 104u);
+}
+
+// ---------------------------------------------------------------- bodytrack
+
+TEST(Bodytrack, TracksFromInformedStart)
+{
+    const BodytrackWorkload w(0.4);
+    const auto &m = w.model();
+    StateHandle s = m.initialState();
+    auto c = ctx(17);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < m.numInputs(); ++i)
+        sum += m.update(*s, i, c);
+    EXPECT_LT(sum / static_cast<double>(m.numInputs()), 2.5);
+}
+
+TEST(Bodytrack, ColdStartReacquiresWithinWindow)
+{
+    const BodytrackWorkload w(0.4);
+    const auto &m = static_cast<const BodytrackModel &>(w.model());
+    // Reference chain up to frame 20.
+    StateHandle ref = m.initialState();
+    {
+        auto c = ctx(19);
+        for (std::size_t i = 0; i < 20; ++i)
+            m.update(*ref, i, c);
+    }
+    // Cold chain over the short-memory window only.
+    StateHandle cold = m.coldState();
+    {
+        auto c = ctx(23);
+        for (std::size_t i = 15; i < 20; ++i)
+            m.update(*cold, i, c);
+    }
+    const double d =
+        m.estimateDistance(static_cast<BodytrackState &>(*cold),
+                           static_cast<BodytrackState &>(*ref));
+    EXPECT_LE(d, m.params().matchTolerance + 0.5);
+}
+
+TEST(Bodytrack, StateSizeAround500KBAtFullScale)
+{
+    const BodytrackWorkload w(1.0);
+    const std::size_t bytes = w.model().stateSizeBytes();
+    EXPECT_GE(bytes, 480000u);
+    EXPECT_LE(bytes, 520000u);
+}
+
+TEST(Bodytrack, UnseededStatesNeverMatch)
+{
+    const BodytrackWorkload w(0.4);
+    const auto &m = w.model();
+    StateHandle cold = m.coldState();
+    StateHandle init = m.initialState();
+    EXPECT_FALSE(m.matches(*cold, *init));
+}
+
+// ---------------------------------------------------------------- facetrack
+
+TEST(Facetrack, HasAmbiguousBursts)
+{
+    const FacetrackWorkload w(0.5);
+    std::size_t decoys = 0;
+    for (bool d : w.decoyFrames())
+        decoys += d ? 1 : 0;
+    const double frac = static_cast<double>(decoys) /
+                        static_cast<double>(w.decoyFrames().size());
+    EXPECT_GT(frac, 0.10);
+    EXPECT_LT(frac, 0.50);
+    EXPECT_FALSE(w.decoyFrames()[0]);
+}
+
+TEST(Facetrack, CoastsThroughDecoysFromInformedStart)
+{
+    const FacetrackWorkload w(0.5);
+    const auto &m = w.model();
+    StateHandle s = m.initialState();
+    auto c = ctx(29);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < m.numInputs(); ++i)
+        sum += m.update(*s, i, c);
+    // Tracking holds on average despite 30% ambiguous frames.
+    EXPECT_LT(sum / static_cast<double>(m.numInputs()), 12.0);
+}
+
+TEST(Facetrack, StateSizeMatchesTable1)
+{
+    const FacetrackWorkload w(0.5);
+    EXPECT_EQ(w.model().stateSizeBytes(), 8000u);
+}
+
+// -------------------------------------------------------- facedet-and-track
+
+TEST(FacedetTrack, OcclusionFractionAsConfigured)
+{
+    const FacedetTrackWorkload w(0.5);
+    std::size_t occ = 0;
+    for (bool o : w.occludedFrames())
+        occ += o ? 1 : 0;
+    const double frac = static_cast<double>(occ) /
+                        static_cast<double>(w.occludedFrames().size());
+    EXPECT_GT(frac, 0.08);
+    EXPECT_LT(frac, 0.40);
+    EXPECT_FALSE(w.occludedFrames()[0]);
+}
+
+TEST(FacedetTrack, DetectionFramesCheaperThanTrackingFrames)
+{
+    const FacedetTrackWorkload w(0.5);
+    const auto &m =
+        static_cast<const FacedetTrackModel &>(w.model());
+    StateHandle s = m.initialState();
+    // Find one detection frame and one occluded frame.
+    std::size_t det = 0, occ = 0;
+    for (std::size_t i = 0; i < w.occludedFrames().size(); ++i) {
+        if (w.occludedFrames()[i])
+            occ = i;
+        else
+            det = i;
+    }
+    OpCounter det_ops, occ_ops;
+    {
+        auto c = ExecContext(Rng(1), &det_ops, TaskKind::ChunkBody);
+        m.update(*s, det, c);
+    }
+    {
+        auto c = ExecContext(Rng(1), &occ_ops, TaskKind::ChunkBody);
+        m.update(*s, occ, c);
+    }
+    EXPECT_LT(det_ops.total(), occ_ops.total());
+}
+
+TEST(FacedetTrack, TracksThroughOcclusions)
+{
+    const FacedetTrackWorkload w(0.5);
+    const auto &m = w.model();
+    StateHandle s = m.initialState();
+    auto c = ctx(31);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < m.numInputs(); ++i)
+        sum += m.update(*s, i, c);
+    EXPECT_LT(sum / static_cast<double>(m.numInputs()), 4.0);
+}
+
+TEST(FacedetTrack, StateSizeMatchesTable1)
+{
+    const FacedetTrackWorkload w(0.5);
+    EXPECT_EQ(w.model().stateSizeBytes(), 8000u);
+}
+
+} // namespace

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Registry-level and engine-integration tests across all six
+ * benchmarks (workloads/workload.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using repro::core::Engine;
+using repro::core::RunResult;
+using namespace repro::workloads;
+
+constexpr double kScale = 0.25;
+
+TEST(Registry, SixWorkloadsInPaperOrder)
+{
+    const auto all = makeAllWorkloads(kScale);
+    ASSERT_EQ(all.size(), 6u);
+    EXPECT_EQ(all[0]->name(), "swaptions");
+    EXPECT_EQ(all[1]->name(), "streamclassifier");
+    EXPECT_EQ(all[2]->name(), "streamcluster");
+    EXPECT_EQ(all[3]->name(), "bodytrack");
+    EXPECT_EQ(all[4]->name(), "facetrack");
+    EXPECT_EQ(all[5]->name(), "facedet-and-track");
+}
+
+TEST(Registry, MakeByName)
+{
+    for (const auto &name : workloadNames()) {
+        const auto w = makeWorkload(name, kScale);
+        EXPECT_EQ(w->name(), name);
+        EXPECT_EQ(w->model().name(), name);
+    }
+}
+
+TEST(RegistryDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(makeWorkload("no-such-benchmark", kScale),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+TEST(RegistryDeathTest, BadScaleIsFatal)
+{
+    EXPECT_EXIT(makeWorkload("swaptions", 0.0),
+                ::testing::ExitedWithCode(1), "scale");
+    EXPECT_EXIT(makeWorkload("swaptions", 1.5),
+                ::testing::ExitedWithCode(1), "scale");
+}
+
+TEST(Registry, TunedConfigsAreFeasible)
+{
+    for (const auto &w : makeAllWorkloads(kScale)) {
+        for (unsigned cores : {14u, 28u}) {
+            const auto cfg = w->tunedConfig(cores);
+            EXPECT_EQ(cfg.check(w->model().numInputs()), "")
+                << w->name() << " @" << cores;
+        }
+    }
+}
+
+TEST(Registry, DesignSpacesContainTunedNeighborhood)
+{
+    for (const auto &w : makeAllWorkloads(kScale)) {
+        const auto space = w->designSpace(28);
+        EXPECT_GE(space.size(), 32u) << w->name();
+        // Every grid point must be constructible.
+        const auto cfg = space.at(space.size() / 2);
+        EXPECT_GE(cfg.numChunks, 1u);
+    }
+}
+
+TEST(Registry, RegionAndTlpAreSane)
+{
+    for (const auto &w : makeAllWorkloads(kScale)) {
+        const auto region = w->region();
+        EXPECT_GE(region.seqBeforeWork, 0.0);
+        EXPECT_GE(region.seqAfterWork, 0.0);
+        const auto tlp = w->tlpModel();
+        EXPECT_GT(tlp.parallelFraction, 0.0);
+        EXPECT_LT(tlp.parallelFraction, 1.0);
+        EXPECT_GE(tlp.maxThreads, 1u);
+    }
+}
+
+TEST(Registry, AccessProfilesAreSane)
+{
+    for (const auto &w : makeAllWorkloads(kScale)) {
+        const auto profile = w->accessProfile();
+        EXPECT_GT(profile.accessesPerInput, 0u) << w->name();
+        EXPECT_GT(profile.branchesPerInput, 0u) << w->name();
+        EXPECT_GE(profile.hotFraction, 0.0);
+        EXPECT_LE(profile.hotFraction, 1.0);
+        EXPECT_GT(profile.statsWorkScale, 0.0);
+        EXPECT_LE(profile.statsWorkScale, 1.0);
+    }
+}
+
+TEST(RegistryEngine, SequentialRunsProduceFiniteQuality)
+{
+    const Engine engine;
+    for (const auto &w : makeAllWorkloads(kScale)) {
+        const RunResult r =
+            engine.runSequential(w->model(), w->region(), 42);
+        ASSERT_EQ(r.outputs.size(), w->model().numInputs());
+        const double q = w->quality(r.outputs);
+        EXPECT_TRUE(std::isfinite(q)) << w->name();
+        EXPECT_GE(q, 0.0) << w->name();
+    }
+}
+
+TEST(RegistryEngine, StatsRunsMostlyCommit)
+{
+    const Engine engine;
+    for (const auto &w : makeAllWorkloads(kScale)) {
+        const auto cfg = w->tunedConfig(28);
+        const RunResult r = engine.runStats(
+            w->model(), w->region(), w->tlpModel(), cfg, 42);
+        const unsigned total = r.commits + r.aborts;
+        EXPECT_EQ(total, cfg.numChunks - 1) << w->name();
+        // bodytrack is the suite's mispeculation-prone benchmark; at
+        // reduced input scale its short chunks abort more often.
+        const unsigned num = w->name() == "bodytrack" ? 2u : 3u;
+        const unsigned den = w->name() == "bodytrack" ? 4u : 4u;
+        EXPECT_GE(r.commits * den, total * num)
+            << w->name() << ": commit rate too low";
+    }
+}
+
+TEST(RegistryEngine, StatsRunsAreDeterministic)
+{
+    const Engine engine;
+    for (const auto &w : makeAllWorkloads(kScale)) {
+        const auto cfg = w->tunedConfig(14);
+        const RunResult a = engine.runStats(
+            w->model(), w->region(), w->tlpModel(), cfg, 7);
+        const RunResult b = engine.runStats(
+            w->model(), w->region(), w->tlpModel(), cfg, 7);
+        EXPECT_EQ(a.commits, b.commits) << w->name();
+        EXPECT_EQ(a.ops.total(), b.ops.total()) << w->name();
+        EXPECT_EQ(w->quality(a.outputs), w->quality(b.outputs))
+            << w->name();
+    }
+}
+
+TEST(RegistryEngine, StatsQualityComparableToOriginal)
+{
+    // STATS preserves semantics: its output quality distribution must
+    // be in the same range as the original's (Fig. 16).  Check a single
+    // seed's quality is within a generous factor.
+    const Engine engine;
+    for (const auto &w : makeAllWorkloads(kScale)) {
+        const RunResult seq =
+            engine.runSequential(w->model(), w->region(), 11);
+        const RunResult st =
+            engine.runStats(w->model(), w->region(), w->tlpModel(),
+                            w->tunedConfig(28), 11);
+        const double q_seq = w->quality(seq.outputs);
+        const double q_st = w->quality(st.outputs);
+        EXPECT_LT(q_st, q_seq * 3.0 + 1.0) << w->name();
+    }
+}
+
+TEST(RegistryEngine, Table1StructureAtFullScale)
+{
+    // Structural Table I quantities at the paper's input sizes.
+    const Engine engine;
+    const auto sw = makeWorkload("swaptions", 1.0);
+    const auto cfg = sw->tunedConfig(28);
+    const auto r = engine.runStats(sw->model(), sw->region(),
+                                   sw->tlpModel(), cfg, 1);
+    EXPECT_EQ(r.threadsCreated, 36u);
+    EXPECT_EQ(r.statesCreated, 36u);
+    EXPECT_EQ(r.stateSizeBytes, 24u);
+}
+
+} // namespace
