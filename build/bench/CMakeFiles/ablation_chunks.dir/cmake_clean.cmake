@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_chunks.dir/ablation_chunks.cc.o"
+  "CMakeFiles/ablation_chunks.dir/ablation_chunks.cc.o.d"
+  "ablation_chunks"
+  "ablation_chunks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chunks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

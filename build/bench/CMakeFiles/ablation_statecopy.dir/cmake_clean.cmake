@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_statecopy.dir/ablation_statecopy.cc.o"
+  "CMakeFiles/ablation_statecopy.dir/ablation_statecopy.cc.o.d"
+  "ablation_statecopy"
+  "ablation_statecopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_statecopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

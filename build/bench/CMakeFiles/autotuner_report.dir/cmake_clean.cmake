@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotuner_report.dir/autotuner_report.cc.o"
+  "CMakeFiles/autotuner_report.dir/autotuner_report.cc.o.d"
+  "autotuner_report"
+  "autotuner_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotuner_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

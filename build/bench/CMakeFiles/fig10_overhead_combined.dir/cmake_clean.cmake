@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_overhead_combined.dir/fig10_overhead_combined.cc.o"
+  "CMakeFiles/fig10_overhead_combined.dir/fig10_overhead_combined.cc.o.d"
+  "fig10_overhead_combined"
+  "fig10_overhead_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_overhead_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

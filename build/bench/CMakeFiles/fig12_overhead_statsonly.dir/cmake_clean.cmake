@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_overhead_statsonly.dir/fig12_overhead_statsonly.cc.o"
+  "CMakeFiles/fig12_overhead_statsonly.dir/fig12_overhead_statsonly.cc.o.d"
+  "fig12_overhead_statsonly"
+  "fig12_overhead_statsonly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_overhead_statsonly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

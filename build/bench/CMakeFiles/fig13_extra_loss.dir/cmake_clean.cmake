@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_extra_loss.dir/fig13_extra_loss.cc.o"
+  "CMakeFiles/fig13_extra_loss.dir/fig13_extra_loss.cc.o.d"
+  "fig13_extra_loss"
+  "fig13_extra_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_extra_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_extra_instructions.dir/fig14_extra_instructions.cc.o"
+  "CMakeFiles/fig14_extra_instructions.dir/fig14_extra_instructions.cc.o.d"
+  "fig14_extra_instructions"
+  "fig14_extra_instructions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_extra_instructions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

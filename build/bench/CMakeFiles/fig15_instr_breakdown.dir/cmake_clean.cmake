@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_instr_breakdown.dir/fig15_instr_breakdown.cc.o"
+  "CMakeFiles/fig15_instr_breakdown.dir/fig15_instr_breakdown.cc.o.d"
+  "fig15_instr_breakdown"
+  "fig15_instr_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_instr_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

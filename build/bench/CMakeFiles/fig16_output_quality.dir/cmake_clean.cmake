@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_output_quality.dir/fig16_output_quality.cc.o"
+  "CMakeFiles/fig16_output_quality.dir/fig16_output_quality.cc.o.d"
+  "fig16_output_quality"
+  "fig16_output_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_output_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_arch_effects.dir/table2_arch_effects.cc.o"
+  "CMakeFiles/table2_arch_effects.dir/table2_arch_effects.cc.o.d"
+  "table2_arch_effects"
+  "table2_arch_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_arch_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

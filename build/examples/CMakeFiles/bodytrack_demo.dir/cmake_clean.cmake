@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bodytrack_demo.dir/bodytrack_demo.cpp.o"
+  "CMakeFiles/bodytrack_demo.dir/bodytrack_demo.cpp.o.d"
+  "bodytrack_demo"
+  "bodytrack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bodytrack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

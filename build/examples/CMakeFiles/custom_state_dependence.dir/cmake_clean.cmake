@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_state_dependence.dir/custom_state_dependence.cpp.o"
+  "CMakeFiles/custom_state_dependence.dir/custom_state_dependence.cpp.o.d"
+  "custom_state_dependence"
+  "custom_state_dependence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_state_dependence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

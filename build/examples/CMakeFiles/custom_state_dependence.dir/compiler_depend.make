@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for custom_state_dependence.
+# This may be replaced when dependencies are built.

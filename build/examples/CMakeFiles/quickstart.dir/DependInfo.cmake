@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/repro_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/autotuner/CMakeFiles/repro_autotuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/repro_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/repro_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/repro_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/repro_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/repro_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_analysis.dir/critical_path.cc.o"
+  "CMakeFiles/repro_analysis.dir/critical_path.cc.o.d"
+  "CMakeFiles/repro_analysis.dir/overheads.cc.o"
+  "CMakeFiles/repro_analysis.dir/overheads.cc.o.d"
+  "CMakeFiles/repro_analysis.dir/quality.cc.o"
+  "CMakeFiles/repro_analysis.dir/quality.cc.o.d"
+  "CMakeFiles/repro_analysis.dir/speedup.cc.o"
+  "CMakeFiles/repro_analysis.dir/speedup.cc.o.d"
+  "librepro_analysis.a"
+  "librepro_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_autotuner.dir/tuner.cc.o"
+  "CMakeFiles/repro_autotuner.dir/tuner.cc.o.d"
+  "librepro_autotuner.a"
+  "librepro_autotuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_autotuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

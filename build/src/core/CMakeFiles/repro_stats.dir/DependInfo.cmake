@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/repro_stats.dir/config.cc.o" "gcc" "src/core/CMakeFiles/repro_stats.dir/config.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/repro_stats.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/repro_stats.dir/engine.cc.o.d"
+  "/root/repo/src/core/native_runtime.cc" "src/core/CMakeFiles/repro_stats.dir/native_runtime.cc.o" "gcc" "src/core/CMakeFiles/repro_stats.dir/native_runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/repro_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_stats.dir/config.cc.o"
+  "CMakeFiles/repro_stats.dir/config.cc.o.d"
+  "CMakeFiles/repro_stats.dir/engine.cc.o"
+  "CMakeFiles/repro_stats.dir/engine.cc.o.d"
+  "CMakeFiles/repro_stats.dir/native_runtime.cc.o"
+  "CMakeFiles/repro_stats.dir/native_runtime.cc.o.d"
+  "librepro_stats.a"
+  "librepro_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perfmodel/arch_sim.cc" "src/perfmodel/CMakeFiles/repro_perfmodel.dir/arch_sim.cc.o" "gcc" "src/perfmodel/CMakeFiles/repro_perfmodel.dir/arch_sim.cc.o.d"
+  "/root/repo/src/perfmodel/branch.cc" "src/perfmodel/CMakeFiles/repro_perfmodel.dir/branch.cc.o" "gcc" "src/perfmodel/CMakeFiles/repro_perfmodel.dir/branch.cc.o.d"
+  "/root/repo/src/perfmodel/cache.cc" "src/perfmodel/CMakeFiles/repro_perfmodel.dir/cache.cc.o" "gcc" "src/perfmodel/CMakeFiles/repro_perfmodel.dir/cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

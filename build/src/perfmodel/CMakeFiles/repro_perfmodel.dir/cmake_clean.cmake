@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_perfmodel.dir/arch_sim.cc.o"
+  "CMakeFiles/repro_perfmodel.dir/arch_sim.cc.o.d"
+  "CMakeFiles/repro_perfmodel.dir/branch.cc.o"
+  "CMakeFiles/repro_perfmodel.dir/branch.cc.o.d"
+  "CMakeFiles/repro_perfmodel.dir/cache.cc.o"
+  "CMakeFiles/repro_perfmodel.dir/cache.cc.o.d"
+  "librepro_perfmodel.a"
+  "librepro_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

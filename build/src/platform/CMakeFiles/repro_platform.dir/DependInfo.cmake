@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/des.cc" "src/platform/CMakeFiles/repro_platform.dir/des.cc.o" "gcc" "src/platform/CMakeFiles/repro_platform.dir/des.cc.o.d"
+  "/root/repo/src/platform/machine.cc" "src/platform/CMakeFiles/repro_platform.dir/machine.cc.o" "gcc" "src/platform/CMakeFiles/repro_platform.dir/machine.cc.o.d"
+  "/root/repo/src/platform/schedule.cc" "src/platform/CMakeFiles/repro_platform.dir/schedule.cc.o" "gcc" "src/platform/CMakeFiles/repro_platform.dir/schedule.cc.o.d"
+  "/root/repo/src/platform/trace_export.cc" "src/platform/CMakeFiles/repro_platform.dir/trace_export.cc.o" "gcc" "src/platform/CMakeFiles/repro_platform.dir/trace_export.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/repro_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_platform.dir/des.cc.o"
+  "CMakeFiles/repro_platform.dir/des.cc.o.d"
+  "CMakeFiles/repro_platform.dir/machine.cc.o"
+  "CMakeFiles/repro_platform.dir/machine.cc.o.d"
+  "CMakeFiles/repro_platform.dir/schedule.cc.o"
+  "CMakeFiles/repro_platform.dir/schedule.cc.o.d"
+  "CMakeFiles/repro_platform.dir/trace_export.cc.o"
+  "CMakeFiles/repro_platform.dir/trace_export.cc.o.d"
+  "librepro_platform.a"
+  "librepro_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

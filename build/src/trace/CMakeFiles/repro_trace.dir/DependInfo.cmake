@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/op_counter.cc" "src/trace/CMakeFiles/repro_trace.dir/op_counter.cc.o" "gcc" "src/trace/CMakeFiles/repro_trace.dir/op_counter.cc.o.d"
+  "/root/repo/src/trace/task.cc" "src/trace/CMakeFiles/repro_trace.dir/task.cc.o" "gcc" "src/trace/CMakeFiles/repro_trace.dir/task.cc.o.d"
+  "/root/repo/src/trace/task_graph.cc" "src/trace/CMakeFiles/repro_trace.dir/task_graph.cc.o" "gcc" "src/trace/CMakeFiles/repro_trace.dir/task_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

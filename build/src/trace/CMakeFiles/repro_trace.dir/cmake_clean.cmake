@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_trace.dir/op_counter.cc.o"
+  "CMakeFiles/repro_trace.dir/op_counter.cc.o.d"
+  "CMakeFiles/repro_trace.dir/task.cc.o"
+  "CMakeFiles/repro_trace.dir/task.cc.o.d"
+  "CMakeFiles/repro_trace.dir/task_graph.cc.o"
+  "CMakeFiles/repro_trace.dir/task_graph.cc.o.d"
+  "librepro_trace.a"
+  "librepro_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_util.dir/cli.cc.o"
+  "CMakeFiles/repro_util.dir/cli.cc.o.d"
+  "CMakeFiles/repro_util.dir/histogram.cc.o"
+  "CMakeFiles/repro_util.dir/histogram.cc.o.d"
+  "CMakeFiles/repro_util.dir/log.cc.o"
+  "CMakeFiles/repro_util.dir/log.cc.o.d"
+  "CMakeFiles/repro_util.dir/rng.cc.o"
+  "CMakeFiles/repro_util.dir/rng.cc.o.d"
+  "CMakeFiles/repro_util.dir/statistics.cc.o"
+  "CMakeFiles/repro_util.dir/statistics.cc.o.d"
+  "CMakeFiles/repro_util.dir/table.cc.o"
+  "CMakeFiles/repro_util.dir/table.cc.o.d"
+  "librepro_util.a"
+  "librepro_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bodytrack.cc" "src/workloads/CMakeFiles/repro_workloads.dir/bodytrack.cc.o" "gcc" "src/workloads/CMakeFiles/repro_workloads.dir/bodytrack.cc.o.d"
+  "/root/repo/src/workloads/common.cc" "src/workloads/CMakeFiles/repro_workloads.dir/common.cc.o" "gcc" "src/workloads/CMakeFiles/repro_workloads.dir/common.cc.o.d"
+  "/root/repo/src/workloads/facedet_track.cc" "src/workloads/CMakeFiles/repro_workloads.dir/facedet_track.cc.o" "gcc" "src/workloads/CMakeFiles/repro_workloads.dir/facedet_track.cc.o.d"
+  "/root/repo/src/workloads/facetrack.cc" "src/workloads/CMakeFiles/repro_workloads.dir/facetrack.cc.o" "gcc" "src/workloads/CMakeFiles/repro_workloads.dir/facetrack.cc.o.d"
+  "/root/repo/src/workloads/particle_filter.cc" "src/workloads/CMakeFiles/repro_workloads.dir/particle_filter.cc.o" "gcc" "src/workloads/CMakeFiles/repro_workloads.dir/particle_filter.cc.o.d"
+  "/root/repo/src/workloads/streamclassifier.cc" "src/workloads/CMakeFiles/repro_workloads.dir/streamclassifier.cc.o" "gcc" "src/workloads/CMakeFiles/repro_workloads.dir/streamclassifier.cc.o.d"
+  "/root/repo/src/workloads/streamcluster.cc" "src/workloads/CMakeFiles/repro_workloads.dir/streamcluster.cc.o" "gcc" "src/workloads/CMakeFiles/repro_workloads.dir/streamcluster.cc.o.d"
+  "/root/repo/src/workloads/swaptions.cc" "src/workloads/CMakeFiles/repro_workloads.dir/swaptions.cc.o" "gcc" "src/workloads/CMakeFiles/repro_workloads.dir/swaptions.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/repro_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/repro_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/repro_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/repro_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/repro_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

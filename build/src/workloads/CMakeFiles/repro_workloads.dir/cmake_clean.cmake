@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_workloads.dir/bodytrack.cc.o"
+  "CMakeFiles/repro_workloads.dir/bodytrack.cc.o.d"
+  "CMakeFiles/repro_workloads.dir/common.cc.o"
+  "CMakeFiles/repro_workloads.dir/common.cc.o.d"
+  "CMakeFiles/repro_workloads.dir/facedet_track.cc.o"
+  "CMakeFiles/repro_workloads.dir/facedet_track.cc.o.d"
+  "CMakeFiles/repro_workloads.dir/facetrack.cc.o"
+  "CMakeFiles/repro_workloads.dir/facetrack.cc.o.d"
+  "CMakeFiles/repro_workloads.dir/particle_filter.cc.o"
+  "CMakeFiles/repro_workloads.dir/particle_filter.cc.o.d"
+  "CMakeFiles/repro_workloads.dir/streamclassifier.cc.o"
+  "CMakeFiles/repro_workloads.dir/streamclassifier.cc.o.d"
+  "CMakeFiles/repro_workloads.dir/streamcluster.cc.o"
+  "CMakeFiles/repro_workloads.dir/streamcluster.cc.o.d"
+  "CMakeFiles/repro_workloads.dir/swaptions.cc.o"
+  "CMakeFiles/repro_workloads.dir/swaptions.cc.o.d"
+  "CMakeFiles/repro_workloads.dir/workload.cc.o"
+  "CMakeFiles/repro_workloads.dir/workload.cc.o.d"
+  "librepro_workloads.a"
+  "librepro_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

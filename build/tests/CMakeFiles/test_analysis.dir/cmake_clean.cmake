@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/test_critical_path.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_critical_path.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_overheads.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_overheads.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_quality.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_quality.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_speedup.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_speedup.cc.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+  "test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_engine.cc.o"
+  "CMakeFiles/test_core.dir/core/test_engine.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_engine_properties.cc.o"
+  "CMakeFiles/test_core.dir/core/test_engine_properties.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_native_runtime.cc.o"
+  "CMakeFiles/test_core.dir/core/test_native_runtime.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

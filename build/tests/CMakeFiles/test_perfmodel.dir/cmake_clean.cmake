@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_arch_sim.cc.o"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_arch_sim.cc.o.d"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_branch.cc.o"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_branch.cc.o.d"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_cache.cc.o"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_cache.cc.o.d"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_prefetch.cc.o"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_prefetch.cc.o.d"
+  "test_perfmodel"
+  "test_perfmodel.pdb"
+  "test_perfmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_platform.dir/platform/test_des.cc.o"
+  "CMakeFiles/test_platform.dir/platform/test_des.cc.o.d"
+  "CMakeFiles/test_platform.dir/platform/test_machine.cc.o"
+  "CMakeFiles/test_platform.dir/platform/test_machine.cc.o.d"
+  "CMakeFiles/test_platform.dir/platform/test_trace_export.cc.o"
+  "CMakeFiles/test_platform.dir/platform/test_trace_export.cc.o.d"
+  "test_platform"
+  "test_platform.pdb"
+  "test_platform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

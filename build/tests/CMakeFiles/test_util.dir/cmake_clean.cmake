@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/util/test_cli.cc.o"
+  "CMakeFiles/test_util.dir/util/test_cli.cc.o.d"
+  "CMakeFiles/test_util.dir/util/test_histogram.cc.o"
+  "CMakeFiles/test_util.dir/util/test_histogram.cc.o.d"
+  "CMakeFiles/test_util.dir/util/test_rng.cc.o"
+  "CMakeFiles/test_util.dir/util/test_rng.cc.o.d"
+  "CMakeFiles/test_util.dir/util/test_statistics.cc.o"
+  "CMakeFiles/test_util.dir/util/test_statistics.cc.o.d"
+  "CMakeFiles/test_util.dir/util/test_table.cc.o"
+  "CMakeFiles/test_util.dir/util/test_table.cc.o.d"
+  "test_util"
+  "test_util.pdb"
+  "test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

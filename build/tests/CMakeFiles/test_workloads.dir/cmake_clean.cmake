@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads.dir/workloads/test_common.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_common.cc.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_kernels.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_kernels.cc.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_particle_filter.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_particle_filter.cc.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_registry.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_registry.cc.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_stats_sweep.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_stats_sweep.cc.o.d"
+  "test_workloads"
+  "test_workloads.pdb"
+  "test_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
