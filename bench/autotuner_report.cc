@@ -24,6 +24,8 @@ main(int argc, char **argv)
     const auto opt = bench::BenchOptions::parse(argc, argv, 0.25);
     const std::size_t budget =
         static_cast<std::size_t>(cli.getInt("budget", 120));
+    const std::size_t eval_threads =
+        static_cast<std::size_t>(cli.getInt("eval-threads", 1));
     const core::Engine engine;
     const auto machine = platform::MachineModel::haswell(28);
 
@@ -36,6 +38,7 @@ main(int argc, char **argv)
         autotuner::Tuner::Options topt;
         topt.budget = budget;
         topt.profileSeed = opt.seed;
+        topt.evalThreads = eval_threads; // same result at any value
         const autotuner::Tuner tuner(topt);
         auto strategy = autotuner::makeHillClimb();
         const auto result = tuner.tune(objective, space, *strategy);

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Serial vs. parallel autotuning throughput.
+ *
+ * Times Tuner::tune at evalThreads = 1 (serial) and 2/4/8 speculative
+ * eval threads, checks the parallel results stay bit-identical to the
+ * serial run, and emits machine-readable JSON (configs/sec and
+ * speedup per thread count) — the repo's perf baseline lives in
+ * BENCH_tuner_throughput.json at the root.
+ *
+ * Flags (bench_common.h style):
+ *   --scale=<0..1>     workload input scale        (default 0.25)
+ *   --seed=<n>         profile seed                (default 42)
+ *   --budget=<n>       configurations per session  (default 60)
+ *   --workload=<name>  benchmark to tune           (default streamclassifier)
+ *   --strategy=<name>  random | hill-climb | evolutionary (default random)
+ *   --repeats=<n>      sessions per thread count, best taken (default 3)
+ *   --out=<path>       also write the JSON to a file
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "autotuner/tuner.h"
+#include "bench/bench_common.h"
+#include "platform/machine.h"
+#include "util/cli.h"
+#include "util/log.h"
+#include "util/thread_pool.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using repro::autotuner::Objective;
+using repro::autotuner::SearchStrategy;
+using repro::autotuner::Tuner;
+using repro::autotuner::TuningResult;
+
+std::unique_ptr<SearchStrategy>
+makeStrategy(const std::string &name)
+{
+    if (name == "random")
+        return repro::autotuner::makeRandomSearch();
+    if (name == "hill-climb")
+        return repro::autotuner::makeHillClimb();
+    if (name == "evolutionary")
+        return repro::autotuner::makeEvolutionary();
+    repro::util::fatal("unknown strategy: " + name);
+    return nullptr;
+}
+
+bool
+sameResult(const TuningResult &a, const TuningResult &b)
+{
+    if (a.evaluated != b.evaluated || a.history.size() != b.history.size())
+        return false;
+    for (std::size_t i = 0; i < a.history.size(); ++i) {
+        if (a.history[i].cycles != b.history[i].cycles)
+            return false;
+    }
+    return a.best.cycles == b.best.cycles;
+}
+
+struct Sample
+{
+    std::size_t threads = 1;
+    double seconds = 0.0;
+    std::size_t evaluated = 0;
+    bool identical = true;
+
+    double
+    configsPerSec() const
+    {
+        return seconds > 0.0 ? static_cast<double>(evaluated) / seconds
+                             : 0.0;
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const repro::util::Cli cli(argc, argv);
+    const auto opt = repro::bench::BenchOptions::parse(argc, argv, 0.25);
+    const std::size_t budget =
+        static_cast<std::size_t>(cli.getInt("budget", 60));
+    const std::string workload_name =
+        cli.getString("workload", "streamclassifier");
+    const std::string strategy_name = cli.getString("strategy", "random");
+    const int repeats = static_cast<int>(cli.getInt("repeats", 3));
+    const std::string out_path = cli.getString("out", "");
+
+    const repro::core::Engine engine;
+    const auto workload =
+        repro::workloads::makeWorkload(workload_name, opt.scale);
+    const Objective objective(
+        *workload, engine, repro::platform::MachineModel::haswell(14));
+    const auto space = workload->designSpace(14);
+
+    auto session = [&](std::size_t threads) {
+        Tuner::Options topt;
+        topt.budget = budget;
+        topt.profileSeed = opt.seed;
+        topt.evalThreads = threads;
+        auto strategy = makeStrategy(strategy_name);
+        const auto start = std::chrono::steady_clock::now();
+        TuningResult result = Tuner(topt).tune(objective, space, *strategy);
+        const double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        return std::make_pair(result, seconds);
+    };
+
+    // Warm-up (first-touch allocation, lazy pool creation).
+    session(1);
+
+    const auto [reference, ref_seconds_once] = session(1);
+    std::vector<Sample> samples;
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                std::size_t{4}, std::size_t{8}}) {
+        Sample s;
+        s.threads = threads;
+        s.seconds = std::numeric_limits<double>::infinity();
+        for (int r = 0; r < repeats; ++r) {
+            const auto [result, seconds] = session(threads);
+            s.seconds = std::min(s.seconds, seconds);
+            s.evaluated = result.evaluated;
+            s.identical = s.identical && sameResult(result, reference);
+        }
+        samples.push_back(s);
+    }
+
+    const double serial_cps = samples.front().configsPerSec();
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"bench\": \"tuner_throughput\",\n"
+         << "  \"workload\": \"" << workload_name << "\",\n"
+         << "  \"strategy\": \"" << strategy_name << "\",\n"
+         << "  \"scale\": " << opt.scale << ",\n"
+         << "  \"budget\": " << budget << ",\n"
+         << "  \"repeats\": " << repeats << ",\n"
+         << "  \"hardware_concurrency\": "
+         << std::thread::hardware_concurrency() << ",\n"
+         << "  \"series\": [\n";
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const Sample &s = samples[i];
+        json << "    {\"eval_threads\": " << s.threads
+             << ", \"seconds\": " << s.seconds
+             << ", \"evaluated\": " << s.evaluated
+             << ", \"configs_per_sec\": " << s.configsPerSec()
+             << ", \"speedup\": "
+             << (serial_cps > 0.0 ? s.configsPerSec() / serial_cps : 0.0)
+             << ", \"identical_to_serial\": "
+             << (s.identical ? "true" : "false") << "}"
+             << (i + 1 < samples.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+
+    std::cout << json.str();
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        if (!out)
+            repro::util::fatal("cannot write " + out_path);
+        out << json.str();
+    }
+    return 0;
+}

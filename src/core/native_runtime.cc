@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
-#include <thread>
 
 #include "util/log.h"
+#include "util/thread_pool.h"
 
 namespace repro::core {
 
@@ -36,9 +36,7 @@ runSpan(const IStateModel &model, State &state, std::size_t from,
 } // namespace
 
 NativeRuntime::NativeRuntime(unsigned max_threads)
-    : maxThreads(max_threads ? max_threads
-                             : std::max(1u,
-                                        std::thread::hardware_concurrency()))
+    : maxThreads(util::ThreadPool::defaultThreadCount(max_threads))
 {
 }
 
@@ -90,52 +88,46 @@ NativeRuntime::run(const IStateModel &model, const StatsConfig &config,
     }
 
     // ----- Parallel phase: speculative execution of every chunk -------
+    // Chunk workers run on the shared process pool (capped at
+    // maxThreads concurrent executors) instead of spawning a thread
+    // batch per round; each iteration writes only chunks[c], so the
+    // dynamic iteration-to-thread mapping cannot change the result.
+    util::ThreadPool &pool = util::ThreadPool::global();
     std::vector<ChunkProducts> chunks(C);
-    {
-        std::vector<std::thread> pool;
-        unsigned next = 0;
-        while (next < C) {
-            const unsigned batch =
-                std::min(maxThreads, C - next);
-            for (unsigned t = 0; t < batch; ++t) {
-                const unsigned c = next + t;
-                pool.emplace_back([&, c] {
-                    ChunkProducts &cp = chunks[c];
-                    StateHandle working;
-                    if (c == 0) {
-                        working = model.initialState();
-                    } else {
-                        // Alternative producer (same streams as the
-                        // engine: split(2000 + c)).
-                        working = model.coldState();
-                        util::Rng alt_rng = base.split(2000 + c);
-                        runSpan(model, *working, begin[c] - K, begin[c],
-                                alt_rng, nullptr);
-                        cp.specState = working->clone();
-                    }
-
-                    const bool needs_snapshot = c + 1 < C;
-                    const std::size_t snap =
-                        needs_snapshot ? std::max(begin[c], end[c] - K)
-                                       : end[c];
-                    util::Rng body_rng = base.split(1000 + c);
-                    cp.outputs.resize(end[c] - begin[c]);
-                    runSpan(model, *working, begin[c], snap, body_rng,
-                            cp.outputs.data());
-                    if (needs_snapshot) {
-                        cp.snapshot = working->clone();
-                        runSpan(model, *working, snap, end[c], body_rng,
-                                cp.outputs.data() + (snap - begin[c]));
-                    }
-                    cp.finalState = std::move(working);
-                });
+    pool.parallelFor(
+        C,
+        [&](std::size_t chunk) {
+            const unsigned c = static_cast<unsigned>(chunk);
+            ChunkProducts &cp = chunks[c];
+            StateHandle working;
+            if (c == 0) {
+                working = model.initialState();
+            } else {
+                // Alternative producer (same streams as the
+                // engine: split(2000 + c)).
+                working = model.coldState();
+                util::Rng alt_rng = base.split(2000 + c);
+                runSpan(model, *working, begin[c] - K, begin[c],
+                        alt_rng, nullptr);
+                cp.specState = working->clone();
             }
-            for (auto &th : pool)
-                th.join();
-            pool.clear();
-            next += batch;
-        }
-    }
+
+            const bool needs_snapshot = c + 1 < C;
+            const std::size_t snap =
+                needs_snapshot ? std::max(begin[c], end[c] - K)
+                               : end[c];
+            util::Rng body_rng = base.split(1000 + c);
+            cp.outputs.resize(end[c] - begin[c]);
+            runSpan(model, *working, begin[c], snap, body_rng,
+                    cp.outputs.data());
+            if (needs_snapshot) {
+                cp.snapshot = working->clone();
+                runSpan(model, *working, snap, end[c], body_rng,
+                        cp.outputs.data() + (snap - begin[c]));
+            }
+            cp.finalState = std::move(working);
+        },
+        maxThreads);
 
     // ----- Commit protocol: in program order ---------------------------
     // committed products of chunk c (speculative or re-executed).
@@ -151,18 +143,17 @@ NativeRuntime::run(const IStateModel &model, const StatsConfig &config,
         // snapshot, in parallel (streams: split(3000 + c*128 + rep)).
         const std::size_t snap = std::max(begin[c], end[c] - K);
         std::vector<StateHandle> replicas(R >= 1 ? R - 1 : 0);
-        {
-            std::vector<std::thread> pool;
-            for (unsigned rep = 0; rep + 1 < R; ++rep) {
-                pool.emplace_back([&, rep] {
+        if (R > 1) {
+            pool.parallelFor(
+                R - 1,
+                [&](std::size_t rep) {
                     StateHandle replica = committed_snapshot->clone();
-                    util::Rng rng = base.split(3000 + c * 128 + rep);
+                    util::Rng rng =
+                        base.split(3000 + c * 128 + rep);
                     runSpan(model, *replica, snap, end[c], rng, nullptr);
                     replicas[rep] = std::move(replica);
-                });
-            }
-            for (auto &th : pool)
-                th.join();
+                },
+                maxThreads);
         }
 
         // Commit check of chunk c+1.

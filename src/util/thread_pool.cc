@@ -1,0 +1,150 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "util/log.h"
+
+namespace repro::util {
+
+namespace {
+
+/**
+ * Shared state of one parallelFor call.  Helpers hold it by
+ * shared_ptr: a helper that is dequeued only after the call already
+ * returned (possible when the queue is backed up) finds next >= n and
+ * exits without touching the caller's stack.
+ */
+struct ForState
+{
+    std::function<void(std::size_t)> body;
+    std::size_t n = 0;
+    std::atomic<std::size_t> next{0};
+
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t completed = 0;        //!< Guarded by mutex.
+    std::exception_ptr error;         //!< First failure; guarded by mutex.
+};
+
+/** Claims and runs iterations until none are left. */
+void
+drain(const std::shared_ptr<ForState> &st)
+{
+    for (std::size_t i = st->next.fetch_add(1); i < st->n;
+         i = st->next.fetch_add(1)) {
+        std::exception_ptr err;
+        try {
+            st->body(i);
+        } catch (...) {
+            err = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(st->mutex);
+        if (err && !st->error)
+            st->error = err;
+        if (++st->completed == st->n)
+            st->done.notify_all();
+    }
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    const unsigned count = defaultThreadCount(workers);
+    workers_.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    available_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        REPRO_ASSERT(!stopping_, "submit on a stopping ThreadPool");
+        queue_.push_back(std::move(task));
+    }
+    available_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            available_.wait(lock,
+                            [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body,
+                        unsigned max_concurrency)
+{
+    if (n == 0)
+        return;
+    if (n == 1) {
+        body(0);
+        return;
+    }
+
+    const unsigned cap =
+        max_concurrency ? max_concurrency : workerCount() + 1;
+    const std::size_t helpers =
+        std::min<std::size_t>({static_cast<std::size_t>(cap) - 1,
+                               static_cast<std::size_t>(workerCount()),
+                               n - 1});
+
+    auto st = std::make_shared<ForState>();
+    st->body = body;
+    st->n = n;
+    for (std::size_t h = 0; h < helpers; ++h)
+        enqueue([st] { drain(st); });
+
+    drain(st); // The caller is always one of the executors.
+
+    std::unique_lock<std::mutex> lock(st->mutex);
+    st->done.wait(lock, [&] { return st->completed == st->n; });
+    if (st->error)
+        std::rethrow_exception(st->error);
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(0);
+    return pool;
+}
+
+unsigned
+ThreadPool::defaultThreadCount(unsigned requested)
+{
+    if (requested)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 2;
+}
+
+} // namespace repro::util

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Reusable fixed-size worker pool.
+ *
+ * Both hot parallel paths of the reproduction — the autotuner's
+ * speculative design-point evaluation (autotuner/tuner.h) and the
+ * native STATS runtime's chunk/replica workers
+ * (core/native_runtime.h) — run on one shared pool instead of
+ * spawning and joining std::thread per round.  Persistent workers
+ * amortize thread creation the same way speculative-multithreading
+ * runtimes keep their worker set alive across speculation rounds.
+ *
+ * Two usage styles:
+ *  - submit(fn): enqueue one task, get a std::future of its result.
+ *  - parallelFor(n, body, cap): run body(0..n-1) cooperatively.  The
+ *    calling thread always participates, so a parallelFor issued from
+ *    inside a pool task (or on a pool whose workers are all busy)
+ *    still completes — it never deadlocks waiting for a free worker,
+ *    it just degrades toward caller-only execution.
+ */
+
+#ifndef REPRO_UTIL_THREAD_POOL_H
+#define REPRO_UTIL_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace repro::util {
+
+/**
+ * Fixed set of worker threads consuming a FIFO task queue.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param workers Worker thread count; 0 selects
+     *        defaultThreadCount(0) (hardware concurrency, with a
+     *        fallback of 2 when the hardware cannot be queried).
+     */
+    explicit ThreadPool(unsigned workers = 0);
+
+    /** Drains nothing: pending tasks still run, then workers join. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads (excludes callers that participate in
+     *  parallelFor). */
+    unsigned workerCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Enqueues @p fn and returns a future of its result.  The task may
+     * run on any worker; exceptions propagate through the future.
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> future = task->get_future();
+        enqueue([task] { (*task)(); });
+        return future;
+    }
+
+    /**
+     * Runs @p body(i) for every i in [0, n), spreading iterations over
+     * at most @p max_concurrency concurrent executors (the caller plus
+     * helper workers; 0 = caller plus every worker).  Blocks until all
+     * iterations finished.  The first exception thrown by @p body is
+     * rethrown here after the remaining iterations completed.
+     *
+     * Iterations are claimed dynamically from a shared counter, so the
+     * mapping of iteration to thread is not deterministic — bodies must
+     * be independent (they are in both call sites: per-chunk and
+     * per-replica work write disjoint slots).
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body,
+                     unsigned max_concurrency = 0);
+
+    /**
+     * The process-wide pool shared by the autotuner and the native
+     * runtime, sized defaultThreadCount(0).  Created on first use.
+     */
+    static ThreadPool &global();
+
+    /**
+     * Resolves a requested thread count: @p requested when non-zero,
+     * otherwise std::thread::hardware_concurrency(), falling back to 2
+     * when the implementation reports 0.  The single home of the
+     * "what does max_threads = 0 mean" rule.
+     */
+    static unsigned defaultThreadCount(unsigned requested = 0);
+
+  private:
+    void enqueue(std::function<void()> task);
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable available_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    bool stopping_ = false;
+};
+
+} // namespace repro::util
+
+#endif // REPRO_UTIL_THREAD_POOL_H

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Equivalence of the parallel (speculative) tuner with the serial
+ * tuner: for any strategy, evalThreads only changes wall-clock, never
+ * the TuningResult — same best, same history order, same evaluated
+ * count, bit for bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "autotuner/tuner.h"
+#include "platform/machine.h"
+#include "util/thread_pool.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using repro::autotuner::Objective;
+using repro::autotuner::Tuner;
+using repro::autotuner::TuningResult;
+using repro::core::Engine;
+using repro::core::StatsConfig;
+using repro::platform::MachineModel;
+using repro::util::ThreadPool;
+using namespace repro::workloads;
+
+constexpr double kScale = 0.25;
+
+void
+expectSameConfig(const StatsConfig &a, const StatsConfig &b,
+                 const std::string &where)
+{
+    EXPECT_EQ(a.numChunks, b.numChunks) << where;
+    EXPECT_EQ(a.altWindowK, b.altWindowK) << where;
+    EXPECT_EQ(a.numOriginalStates, b.numOriginalStates) << where;
+    EXPECT_EQ(a.innerTlpThreads, b.innerTlpThreads) << where;
+    EXPECT_EQ(a.useStatsTlp, b.useStatsTlp) << where;
+}
+
+void
+expectBitIdentical(const TuningResult &serial, const TuningResult &parallel,
+                   const std::string &strategy)
+{
+    EXPECT_EQ(serial.evaluated, parallel.evaluated) << strategy;
+    ASSERT_EQ(serial.history.size(), parallel.history.size()) << strategy;
+    for (std::size_t i = 0; i < serial.history.size(); ++i) {
+        const auto &s = serial.history[i];
+        const auto &q = parallel.history[i];
+        const std::string where =
+            strategy + " history[" + std::to_string(i) + "]";
+        expectSameConfig(s.config, q.config, where);
+        EXPECT_EQ(s.cycles, q.cycles) << where; // exact, not approx
+        EXPECT_EQ(s.feasible, q.feasible) << where;
+    }
+    expectSameConfig(serial.best.config, parallel.best.config,
+                     strategy + " best");
+    EXPECT_EQ(serial.best.cycles, parallel.best.cycles) << strategy;
+}
+
+std::unique_ptr<repro::autotuner::SearchStrategy>
+makeStrategy(const std::string &name)
+{
+    if (name == "random")
+        return repro::autotuner::makeRandomSearch();
+    if (name == "hill-climb")
+        return repro::autotuner::makeHillClimb();
+    return repro::autotuner::makeEvolutionary(6);
+}
+
+TEST(ParallelTuner, BitIdenticalToSerialForAllStrategies)
+{
+    const Engine engine;
+    const auto w = makeWorkload("streamclassifier", kScale);
+    const Objective obj(*w, engine, MachineModel::haswell(14));
+    const auto space = w->designSpace(14);
+
+    for (const std::string name : {"random", "hill-climb", "evolutionary"}) {
+        Tuner::Options serial_opt;
+        serial_opt.budget = 30;
+        auto serial_strategy = makeStrategy(name);
+        const TuningResult serial =
+            Tuner(serial_opt).tune(obj, space, *serial_strategy);
+
+        Tuner::Options parallel_opt = serial_opt;
+        parallel_opt.evalThreads = 4;
+        auto parallel_strategy = makeStrategy(name);
+        const TuningResult parallel =
+            Tuner(parallel_opt).tune(obj, space, *parallel_strategy);
+
+        expectBitIdentical(serial, parallel, name);
+    }
+}
+
+TEST(ParallelTuner, BitIdenticalAcrossThreadCounts)
+{
+    // 2, 3, and 8 eval threads slice the speculation pipeline
+    // differently; none of it may leak into the result.
+    const Engine engine;
+    const auto w = makeWorkload("swaptions", kScale);
+    const Objective obj(*w, engine, MachineModel::haswell(14));
+    const auto space = w->designSpace(14);
+
+    Tuner::Options opt;
+    opt.budget = 25;
+    auto s0 = repro::autotuner::makeHillClimb();
+    const TuningResult serial = Tuner(opt).tune(obj, space, *s0);
+    for (std::size_t threads : {2u, 3u, 8u}) {
+        Tuner::Options popt = opt;
+        popt.evalThreads = threads;
+        auto s = repro::autotuner::makeHillClimb();
+        const TuningResult parallel = Tuner(popt).tune(obj, space, *s);
+        expectBitIdentical(serial, parallel,
+                           "threads=" + std::to_string(threads));
+    }
+}
+
+TEST(ParallelTuner, RunsOnCallerProvidedPool)
+{
+    const Engine engine;
+    const auto w = makeWorkload("streamcluster", kScale);
+    const Objective obj(*w, engine, MachineModel::haswell(14));
+    const auto space = w->designSpace(14);
+
+    ThreadPool pool(3);
+    Tuner::Options opt;
+    opt.budget = 15;
+    opt.evalThreads = 3;
+    opt.pool = &pool;
+    auto parallel_strategy = repro::autotuner::makeRandomSearch();
+    const TuningResult parallel =
+        Tuner(opt).tune(obj, space, *parallel_strategy);
+
+    Tuner::Options serial_opt;
+    serial_opt.budget = 15;
+    auto serial_strategy = repro::autotuner::makeRandomSearch();
+    const TuningResult serial =
+        Tuner(serial_opt).tune(obj, space, *serial_strategy);
+    expectBitIdentical(serial, parallel, "caller pool");
+}
+
+TEST(ParallelTuner, SpeculationIsExactForRandomSearch)
+{
+    // Random search's speculation replays the rng, so the next `width`
+    // proposals are predicted exactly.
+    const auto space = repro::core::DesignSpace::standard(512, 14);
+    auto strategy = repro::autotuner::makeRandomSearch();
+    repro::util::Rng rng(99);
+    const auto predicted = strategy->speculate(space, {}, rng, 10);
+    ASSERT_EQ(predicted.size(), 10u);
+    for (std::size_t i = 0; i < predicted.size(); ++i)
+        EXPECT_EQ(predicted[i], strategy->propose(space, {}, rng)) << i;
+}
+
+} // namespace

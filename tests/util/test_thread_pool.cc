@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the shared worker pool (util/thread_pool.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace {
+
+using repro::util::ThreadPool;
+
+TEST(ThreadPool, DefaultThreadCountResolvesZeroOnce)
+{
+    EXPECT_EQ(ThreadPool::defaultThreadCount(7), 7u);
+    // 0 resolves to hardware concurrency, or the documented fallback
+    // of 2 when the hardware cannot be queried — never 0.
+    EXPECT_GE(ThreadPool::defaultThreadCount(0), 1u);
+}
+
+TEST(ThreadPool, SubmitReturnsFutureResult)
+{
+    ThreadPool pool(2);
+    auto a = pool.submit([] { return 21 * 2; });
+    auto b = pool.submit([] { return std::string("ok"); });
+    EXPECT_EQ(a.get(), 42);
+    EXPECT_EQ(b.get(), "ok");
+}
+
+TEST(ThreadPool, SingleWorkerRunsTasksInSubmissionOrder)
+{
+    ThreadPool pool(1);
+    std::vector<int> order;
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 16; ++i)
+        futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+    for (auto &f : futures)
+        f.get();
+    std::vector<int> expected(16);
+    std::iota(expected.begin(), expected.end(), 0);
+    EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, ReusableAcrossManySubmitRounds)
+{
+    ThreadPool pool(4);
+    std::atomic<int> sum{0};
+    for (int round = 0; round < 50; ++round) {
+        std::vector<std::future<void>> futures;
+        for (int i = 0; i < 8; ++i)
+            futures.push_back(pool.submit([&sum] { ++sum; }));
+        for (auto &f : futures)
+            f.get();
+    }
+    EXPECT_EQ(sum.load(), 50 * 8);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions)
+{
+    ThreadPool pool(2);
+    auto f = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(f.get(), std::runtime_error);
+    // The worker that threw must still be alive for later tasks.
+    EXPECT_EQ(pool.submit([] { return 5; }).get(), 5);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(n, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForHonorsDegenerateSizes)
+{
+    ThreadPool pool(2);
+    int calls = 0;
+    pool.parallelFor(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    pool.parallelFor(1, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ParallelForConcurrencyCapOneStillCompletes)
+{
+    ThreadPool pool(4);
+    std::atomic<int> concurrent{0};
+    std::atomic<int> peak{0};
+    pool.parallelFor(
+        64,
+        [&](std::size_t) {
+            const int now = ++concurrent;
+            int seen = peak.load();
+            while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+            }
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+            --concurrent;
+        },
+        /*max_concurrency=*/1);
+    EXPECT_EQ(peak.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException)
+{
+    ThreadPool pool(4);
+    std::atomic<int> executed{0};
+    EXPECT_THROW(
+        pool.parallelFor(32,
+                         [&](std::size_t i) {
+                             ++executed;
+                             if (i == 7)
+                                 throw std::runtime_error("iteration 7");
+                         }),
+        std::runtime_error);
+    // All iterations still ran (independent work is not cancelled).
+    EXPECT_EQ(executed.load(), 32);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    // A parallelFor issued from inside a pool task must complete even
+    // when every worker is busy: the issuing task drains the inner
+    // loop itself.
+    ThreadPool pool(2);
+    std::atomic<int> inner{0};
+    pool.parallelFor(4, [&](std::size_t) {
+        pool.parallelFor(8, [&](std::size_t) { ++inner; });
+    });
+    EXPECT_EQ(inner.load(), 4 * 8);
+}
+
+TEST(ThreadPool, GlobalPoolIsSharedAndUsable)
+{
+    ThreadPool &a = ThreadPool::global();
+    ThreadPool &b = ThreadPool::global();
+    EXPECT_EQ(&a, &b);
+    EXPECT_GE(a.workerCount(), 1u);
+    EXPECT_EQ(a.submit([] { return 1; }).get(), 1);
+}
+
+} // namespace
