@@ -15,8 +15,11 @@
 #ifndef REPRO_BENCH_BENCH_COMMON_H
 #define REPRO_BENCH_BENCH_COMMON_H
 
+#include <chrono>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "util/cli.h"
 #include "util/table.h"
@@ -42,6 +45,35 @@ struct BenchOptions
         return opt;
     }
 };
+
+/**
+ * JSON object describing the host the bench ran on, for inclusion in
+ * every BENCH_*.json under the "host" key: hardware concurrency and
+ * the timing source (all benches time with std::chrono::steady_clock)
+ * with its tick period.  Wall-clock numbers from different hosts are
+ * not comparable without this.
+ *
+ * @param indent Spaces prefixed to the closing brace / inner lines.
+ */
+inline std::string
+hostMetadataJson(const std::string &indent = "  ")
+{
+    using period = std::chrono::steady_clock::period;
+    std::ostringstream os;
+    os << "{\n"
+       << indent << "  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n"
+       << indent << "  \"timestamp_source\": \"steady_clock\",\n"
+       << indent << "  \"steady_clock_is_steady\": "
+       << (std::chrono::steady_clock::is_steady ? "true" : "false")
+       << ",\n"
+       << indent << "  \"steady_clock_tick_ns\": "
+       << (1e9 * static_cast<double>(period::num) /
+           static_cast<double>(period::den))
+       << "\n"
+       << indent << "}";
+    return os.str();
+}
 
 /** Prints @p table honoring --csv, preceded by a title line. */
 inline void

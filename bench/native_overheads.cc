@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Measured Fig.-10-style overhead characterization of a *native* run.
+ *
+ * Every figure bench re-simulates logical task graphs; this harness
+ * instead executes the STATS protocol with real threads
+ * (core::NativeRuntime), records a measured task graph through
+ * trace::MeasuredTraceRecorder, and feeds it to the same §V-B ladder
+ * (analysis::analyzeMeasuredGraph) — printing the measured
+ * per-category speedup losses next to the DES prediction for the same
+ * (workload, config, seed).  The machine-readable baseline lives in
+ * BENCH_native_overheads.json at the repo root.
+ *
+ * Flags (bench_common.h style):
+ *   --scale=<0..1>     workload input scale          (default 0.25)
+ *   --seed=<n>         run seed                      (default 42)
+ *   --workload=<name>  benchmark to run              (default streamclassifier)
+ *   --threads=<n>      parallelism cap, 0 = hardware (default 0)
+ *   --repeats=<n>      timed runs, best taken        (default 3)
+ *   --out=<path>       write the JSON here           (default BENCH_native_overheads.json)
+ *   --trace=<path>     also dump the measured run as a Chrome trace
+ */
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "analysis/critical_path.h"
+#include "analysis/overheads.h"
+#include "bench/bench_common.h"
+#include "core/native_runtime.h"
+#include "platform/machine.h"
+#include "platform/measured.h"
+#include "platform/trace_export.h"
+#include "trace/measured_trace.h"
+#include "util/cli.h"
+#include "util/log.h"
+#include "util/thread_pool.h"
+
+using namespace repro;
+using analysis::OverheadBreakdown;
+using analysis::OverheadCategory;
+using core::NativeRuntime;
+using repro::util::formatDouble;
+using repro::util::formatPercent;
+using repro::util::Table;
+
+namespace {
+
+bool
+sameResult(const NativeRuntime::Result &a, const NativeRuntime::Result &b)
+{
+    return a.outputs == b.outputs && a.commits == b.commits &&
+           a.aborts == b.aborts;
+}
+
+double
+lost(const OverheadBreakdown &b, OverheadCategory c)
+{
+    return b.lostFraction[static_cast<std::size_t>(c)];
+}
+
+void
+ladderJson(std::ostringstream &json, const char *key,
+           const OverheadBreakdown &b)
+{
+    json << "  \"" << key << "\": {\n"
+         << "    \"ideal_speedup\": " << b.idealSpeedup << ",\n"
+         << "    \"actual_speedup\": " << b.actualSpeedup << ",\n"
+         << "    \"lost_fraction\": {";
+    for (std::size_t c = 0; c < analysis::kNumOverheadCategories; ++c) {
+        json << (c ? ", " : "") << "\""
+             << analysis::overheadCategoryName(
+                    static_cast<OverheadCategory>(c))
+             << "\": " << b.lostFraction[c];
+    }
+    json << "}\n  }";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const util::Cli cli(argc, argv);
+    const auto opt = bench::BenchOptions::parse(argc, argv, 0.25);
+    const std::string workload_name =
+        cli.getString("workload", "streamclassifier");
+    const unsigned threads = util::ThreadPool::defaultThreadCount(
+        static_cast<unsigned>(cli.getInt("threads", 0)));
+    const int repeats =
+        std::max(1, static_cast<int>(cli.getInt("repeats", 3)));
+    const std::string out_path =
+        cli.getString("out", "BENCH_native_overheads.json");
+    const std::string trace_path = cli.getString("trace", "");
+
+    const auto w = workloads::makeWorkload(workload_name, opt.scale);
+    core::StatsConfig config = w->tunedConfig(threads);
+    config.useStatsTlp = true;
+    config.innerTlpThreads = 1; // Native path: no inner TLP re-execution.
+    const NativeRuntime rt(threads);
+    const auto &model = w->model();
+
+    // Native sequential baseline (denominator), best of repeats.
+    double seq_seconds = std::numeric_limits<double>::infinity();
+    NativeRuntime::Result seq;
+    for (int r = 0; r < repeats; ++r) {
+        seq = rt.runSequential(model, opt.seed);
+        seq_seconds = std::min(seq_seconds, seq.wallSeconds);
+    }
+
+    // Unrecorded STATS run: the timing reference and identity oracle.
+    double stats_seconds = std::numeric_limits<double>::infinity();
+    NativeRuntime::Result plain;
+    for (int r = 0; r < repeats; ++r) {
+        plain = rt.run(model, config, opt.seed);
+        stats_seconds = std::min(stats_seconds, plain.wallSeconds);
+    }
+
+    // Recorded run: same results, plus the measured task graph.
+    trace::MeasuredTraceRecorder recorder;
+    const NativeRuntime::Result recorded =
+        rt.run(model, config, opt.seed, &recorder);
+    const bool identical = sameResult(recorded, plain);
+    if (!identical)
+        std::cerr << "WARNING: recording changed the results — "
+                     "observer bug\n";
+    const trace::MeasuredTrace mt = recorder.finish();
+
+    const platform::Schedule sched = platform::measuredSchedule(mt);
+    const auto cp = analysis::criticalPathReport(sched, mt.graph);
+    const OverheadBreakdown measured = analysis::analyzeMeasuredGraph(
+        mt.graph, threads, seq_seconds, recorded.commits,
+        recorded.aborts);
+
+    // DES prediction of the same (workload, config, seed) for the
+    // side-by-side comparison.
+    const core::Engine engine;
+    const analysis::OverheadAnalyzer analyzer(
+        engine, platform::MachineModel::haswell(threads));
+    const OverheadBreakdown des = analyzer.analyze(*w, config, opt.seed);
+
+    if (!trace_path.empty()) {
+        std::ofstream os(trace_path);
+        if (!os)
+            util::fatal("cannot write " + trace_path);
+        platform::writeChromeTrace(sched, mt.graph, os);
+    }
+
+    Table table({"Category", "measured", "DES model"});
+    const auto row = [&](OverheadCategory c) {
+        table.addRow({analysis::overheadCategoryName(c),
+                      formatPercent(lost(measured, c)),
+                      formatPercent(lost(des, c))});
+    };
+    row(OverheadCategory::Synchronization);
+    row(OverheadCategory::ExtraComputation);
+    row(OverheadCategory::Imbalance);
+    row(OverheadCategory::SequentialCode);
+    row(OverheadCategory::Mispeculation);
+    row(OverheadCategory::Unreachability);
+    table.addRow({"achieved speedup",
+                  formatDouble(measured.actualSpeedup, 2) + "x",
+                  formatDouble(des.actualSpeedup, 2) + "x"});
+    bench::emit(table,
+                "Measured vs DES % of ideal speedup lost (" +
+                    workload_name + ", " + config.describe() + ", " +
+                    std::to_string(threads) + " threads)",
+                opt.csv);
+
+    const double wall_speedup =
+        stats_seconds > 0.0 ? seq_seconds / stats_seconds : 0.0;
+    std::cout << "native: seq " << formatDouble(seq_seconds * 1e3, 2)
+              << " ms, stats " << formatDouble(stats_seconds * 1e3, 2)
+              << " ms (wall speedup " << formatDouble(wall_speedup, 2)
+              << "x), " << recorded.commits << " commits, "
+              << recorded.aborts << " aborts, " << mt.graph.size()
+              << " measured tasks on " << mt.laneCount << " lanes\n";
+    std::cout << cp.describe();
+
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"bench\": \"native_overheads\",\n"
+         << "  \"workload\": \"" << workload_name << "\",\n"
+         << "  \"config\": \"" << config.describe() << "\",\n"
+         << "  \"scale\": " << opt.scale << ",\n"
+         << "  \"seed\": " << opt.seed << ",\n"
+         << "  \"threads\": " << threads << ",\n"
+         << "  \"repeats\": " << repeats << ",\n"
+         << "  \"host\": " << bench::hostMetadataJson() << ",\n"
+         << "  \"identical_with_recording\": "
+         << (identical ? "true" : "false") << ",\n"
+         << "  \"commits\": " << recorded.commits << ",\n"
+         << "  \"aborts\": " << recorded.aborts << ",\n"
+         << "  \"sequential_seconds\": " << seq_seconds << ",\n"
+         << "  \"stats_seconds\": " << stats_seconds << ",\n"
+         << "  \"wall_speedup\": " << wall_speedup << ",\n"
+         << "  \"measured_tasks\": " << mt.graph.size() << ",\n"
+         << "  \"measured_lanes\": " << mt.laneCount << ",\n"
+         << "  \"measured_makespan_us\": " << mt.makespanUs() << ",\n"
+         << "  \"pool_tasks\": " << mt.poolTasks << ",\n"
+         << "  \"pool_busy_seconds\": " << mt.poolBusySeconds << ",\n"
+         << "  \"critical_path\": {\"busy_us\": " << cp.busyCycles
+         << ", \"wait_us\": " << cp.waitCycles
+         << ", \"makespan_us\": " << cp.makespan
+         << ", \"overhead_share\": " << cp.overheadShare() << "},\n"
+         << "  \"busy_seconds_by_kind\": {";
+    for (std::size_t k = 0; k < trace::kNumTaskKinds; ++k) {
+        json << (k ? ", " : "") << "\""
+             << trace::taskKindName(static_cast<trace::TaskKind>(k))
+             << "\": " << sched.busyByKind[k] * 1e-6;
+    }
+    json << "},\n";
+    ladderJson(json, "measured", measured);
+    json << ",\n";
+    ladderJson(json, "des_model", des);
+    json << "\n}\n";
+
+    if (!out_path.empty()) {
+        std::ofstream os(out_path);
+        if (!os)
+            util::fatal("cannot write " + out_path);
+        os << json.str();
+    }
+    if (opt.csv)
+        std::cout << json.str();
+    return 0;
+}

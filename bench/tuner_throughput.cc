@@ -147,8 +147,7 @@ main(int argc, char **argv)
          << "  \"scale\": " << opt.scale << ",\n"
          << "  \"budget\": " << budget << ",\n"
          << "  \"repeats\": " << repeats << ",\n"
-         << "  \"hardware_concurrency\": "
-         << std::thread::hardware_concurrency() << ",\n"
+         << "  \"host\": " << repro::bench::hostMetadataJson() << ",\n"
          << "  \"series\": [\n";
     for (std::size_t i = 0; i < samples.size(); ++i) {
         const Sample &s = samples[i];

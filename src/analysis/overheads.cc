@@ -29,6 +29,36 @@ withoutKinds(SimOptions base, std::initializer_list<TaskKind> kinds)
     return base;
 }
 
+/** Copy of @p graph with every chunk's body work set to the mean
+ *  across chunks (the perfect-balance counterfactual). */
+TaskGraph
+balancedCopy(const TaskGraph &graph)
+{
+    // Mean body work per chunk.
+    std::map<std::int32_t, double> chunk_work;
+    for (const auto &t : graph.tasks()) {
+        if (t.kind == TaskKind::ChunkBody && t.chunk != trace::kNoChunk)
+            chunk_work[t.chunk] += t.work;
+    }
+    if (chunk_work.empty())
+        return graph;
+    double total = 0.0;
+    for (const auto &[chunk, work] : chunk_work)
+        total += work;
+    const double mean = total / static_cast<double>(chunk_work.size());
+
+    TaskGraph balanced = graph;
+    for (const auto &t : graph.tasks()) {
+        if (t.kind != TaskKind::ChunkBody || t.chunk == trace::kNoChunk)
+            continue;
+        const double cw = chunk_work[t.chunk];
+        if (cw <= 0.0)
+            continue;
+        balanced.mutableTask(t.id).work = t.work * mean / cw;
+    }
+    return balanced;
+}
+
 } // namespace
 
 const char *
@@ -64,29 +94,76 @@ OverheadAnalyzer::sequentialTime(const workloads::Workload &workload,
 TaskGraph
 OverheadAnalyzer::balancedGraph(const TaskGraph &graph)
 {
-    // Mean body work per chunk.
-    std::map<std::int32_t, double> chunk_work;
-    for (const auto &t : graph.tasks()) {
-        if (t.kind == TaskKind::ChunkBody && t.chunk != trace::kNoChunk)
-            chunk_work[t.chunk] += t.work;
-    }
-    if (chunk_work.empty())
-        return graph;
-    double total = 0.0;
-    for (const auto &[chunk, work] : chunk_work)
-        total += work;
-    const double mean = total / static_cast<double>(chunk_work.size());
+    return balancedCopy(graph);
+}
 
-    TaskGraph balanced = graph;
-    for (const auto &t : graph.tasks()) {
-        if (t.kind != TaskKind::ChunkBody || t.chunk == trace::kNoChunk)
-            continue;
-        const double cw = chunk_work[t.chunk];
-        if (cw <= 0.0)
-            continue;
-        balanced.mutableTask(t.id).work = t.work * mean / cw;
-    }
-    return balanced;
+OverheadBreakdown
+analyzeMeasuredGraph(const TaskGraph &graph, unsigned cores,
+                     double sequential_seconds, unsigned commits,
+                     unsigned aborts)
+{
+    REPRO_ASSERT(cores > 0, "measured ladder needs at least one core");
+    REPRO_ASSERT(sequential_seconds > 0.0,
+                 "measured ladder needs a positive sequential time");
+    const platform::MachineModel machine =
+        platform::MachineModel::measured(cores);
+    // Measured work units are microseconds; so are this machine's
+    // "cycles" (ghz = 1e-3 => seconds() divides by 1e6).
+    const double t_seq = sequential_seconds * 1e6;
+
+    OverheadBreakdown out;
+    out.idealSpeedup = static_cast<double>(cores);
+    out.commits = commits;
+    out.aborts = aborts;
+
+    auto speedup_of = [&](const TaskGraph &g, const SimOptions &opt) {
+        const double t = Simulator(machine, opt).run(g).makespan;
+        REPRO_ASSERT(t > 0.0, "zero makespan in what-if simulation");
+        return t_seq / t;
+    };
+
+    const SimOptions base;
+    const double s0 = speedup_of(graph, base);
+    out.actualSpeedup = s0;
+
+    const SimOptions no_seqcode = withoutKinds(base, {TaskKind::SeqCode});
+    const double s1 = std::max(s0, speedup_of(graph, no_seqcode));
+
+    const SimOptions no_sync = withoutKinds(no_seqcode, {TaskKind::Sync});
+    const double s2 = std::max(s1, speedup_of(graph, no_sync));
+
+    SimOptions no_extra = no_sync;
+    for (TaskKind k : kExtraKinds)
+        no_extra.kindCostScale[static_cast<std::size_t>(k)] = 0.0;
+    const double s3 = std::max(s2, speedup_of(graph, no_extra));
+
+    const TaskGraph balanced = balancedCopy(graph);
+    const double s4 = std::max(s3, speedup_of(balanced, no_extra));
+
+    const SimOptions no_mispec =
+        withoutKinds(no_extra, {TaskKind::MispecReExec});
+    const double s5 =
+        std::min(out.idealSpeedup,
+                 std::max(s4, speedup_of(balanced, no_mispec)));
+
+    const double ideal = out.idealSpeedup;
+    auto lost = [&](double hi, double lo) {
+        return std::max(0.0, (hi - lo) / ideal);
+    };
+    auto &frac = out.lostFraction;
+    frac[static_cast<std::size_t>(OverheadCategory::SequentialCode)] =
+        lost(s1, s0);
+    frac[static_cast<std::size_t>(OverheadCategory::Synchronization)] =
+        lost(s2, s1);
+    frac[static_cast<std::size_t>(OverheadCategory::ExtraComputation)] =
+        lost(s3, s2);
+    frac[static_cast<std::size_t>(OverheadCategory::Imbalance)] =
+        lost(s4, s3);
+    frac[static_cast<std::size_t>(OverheadCategory::Mispeculation)] =
+        lost(s5, s4);
+    frac[static_cast<std::size_t>(OverheadCategory::Unreachability)] =
+        lost(ideal, s5);
+    return out;
 }
 
 StatsConfig

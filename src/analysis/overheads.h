@@ -104,6 +104,32 @@ struct ExtraComputationBreakdown
 };
 
 /**
+ * The §V-B ladder applied to a *measured* task graph (a native run
+ * recorded by trace::MeasuredTraceRecorder through NativeRuntime).
+ *
+ * Work units are microseconds, so the graph is re-simulated on
+ * MachineModel::measured(cores) — 1 cycle = 1 us, no modeled
+ * synchronization/copy surcharges (measured durations already include
+ * every real cost).  The rungs mirror OverheadAnalyzer::analyze:
+ * actual -> -SeqCode -> -Sync -> -extra computation -> balanced ->
+ * -MispecReExec -> ideal = cores.  Mispeculation's counterfactual here
+ * elides the re-execution tasks of the same graph (no autotuner
+ * re-run exists for a measured trace), and "actual" is the greedy
+ * re-simulation of the measured durations, so the losses partition
+ * [actual, ideal] exactly just like the simulated ladder.
+ *
+ * @param graph Measured task graph (MeasuredTrace::graph).
+ * @param cores Parallelism the run was allowed (ideal speedup).
+ * @param sequential_seconds Measured wall-clock time of the native
+ *        sequential program on the same (model, seed).
+ * @param commits,aborts Speculation outcome of the recorded run.
+ */
+OverheadBreakdown
+analyzeMeasuredGraph(const trace::TaskGraph &graph, unsigned cores,
+                     double sequential_seconds, unsigned commits = 0,
+                     unsigned aborts = 0);
+
+/**
  * Runs the §V-B what-if ladder for one workload.
  */
 class OverheadAnalyzer

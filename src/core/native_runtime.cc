@@ -3,12 +3,24 @@
 #include <algorithm>
 #include <chrono>
 
+#include "trace/measured_trace.h"
 #include "util/log.h"
 #include "util/thread_pool.h"
 
 namespace repro::core {
 
 namespace {
+
+using trace::TaskId;
+using trace::TaskKind;
+using trace::ThreadId;
+
+/** Sentinel for "no recorded task". */
+constexpr TaskId kNoTask = static_cast<TaskId>(-1);
+
+/** Main/commit-protocol thread id in the measured graph (the caller
+ *  executes setup, comparisons, and abort re-executions itself). */
+constexpr ThreadId kMainThread = 0;
 
 /** Per-chunk speculative products, filled by the parallel phase. */
 struct ChunkProducts
@@ -17,14 +29,103 @@ struct ChunkProducts
     StateHandle finalState; //!< End state of the speculative body.
     StateHandle snapshot;   //!< State at end-K (c < C-1).
     std::vector<double> outputs; //!< Dense, indexed from chunk begin.
+
+    // Recorded task ids of this chunk's speculative execution.
+    TaskId altTask = kNoTask;      //!< AltProducer replay (c > 0).
+    TaskId specCopyTask = kNoTask; //!< Spec-state clone for the check.
+    TaskId bodyA = kNoTask;        //!< Body up to the snapshot point.
+    TaskId snapshotTask = kNoTask; //!< Snapshot clone (c < C-1).
+    TaskId bodyB = kNoTask;        //!< Body after the snapshot point.
+    TaskId bodyLast = kNoTask;     //!< Last body task (final state).
 };
 
-/** Runs updates [from, to) on @p state with @p rng. */
+/**
+ * Optional observation of one run: every call forwards to the
+ * recorder when one is attached and is a no-op otherwise, so the
+ * unrecorded hot path stays free of bookkeeping.
+ */
+class Observer
+{
+  public:
+    explicit Observer(trace::MeasuredTraceRecorder *recorder)
+        : rec_(recorder)
+    {
+    }
+
+    bool on() const { return rec_ != nullptr; }
+
+    TaskId
+    begin(TaskKind kind, ThreadId thread,
+          std::int32_t chunk = trace::kNoChunk) const
+    {
+        return rec_ ? rec_->begin(kind, thread, chunk) : kNoTask;
+    }
+
+    void
+    end(TaskId id) const
+    {
+        if (rec_)
+            rec_->end(id);
+    }
+
+    void
+    dep(TaskId before, TaskId after) const
+    {
+        if (rec_ && before != kNoTask && after != kNoTask)
+            rec_->addDep(before, after);
+    }
+
+    void
+    retag(TaskId id, TaskKind kind) const
+    {
+        if (rec_ && id != kNoTask)
+            rec_->retag(id, kind);
+    }
+
+  private:
+    trace::MeasuredTraceRecorder *rec_;
+};
+
+/**
+ * Installs the recorder's profiler on the shared pool for the scope
+ * of one recorded run, restoring the previous profiler on exit, so
+ * the measured trace also captures real worker occupancy.
+ */
+class ScopedPoolProfile
+{
+  public:
+    ScopedPoolProfile(util::ThreadPool &pool,
+                      trace::MeasuredTraceRecorder *recorder)
+        : pool_(pool), active_(recorder != nullptr)
+    {
+        if (active_)
+            previous_ = pool_.setProfiler(recorder->poolProfiler());
+    }
+
+    ~ScopedPoolProfile()
+    {
+        if (active_)
+            pool_.setProfiler(std::move(previous_));
+    }
+
+  private:
+    util::ThreadPool &pool_;
+    bool active_;
+    std::shared_ptr<util::ThreadPool::Profiler> previous_;
+};
+
+/**
+ * Runs updates [from, to) on @p state with @p rng, charged to @p kind
+ * (the category the span's computation belongs to in the overhead
+ * taxonomy: ChunkBody for useful work, AltProducer for speculative
+ * replays, OriginalStateGen for boundary replicas, MispecReExec for
+ * abort re-execution).
+ */
 void
 runSpan(const IStateModel &model, State &state, std::size_t from,
-        std::size_t to, util::Rng &rng, double *outs)
+        std::size_t to, util::Rng &rng, double *outs, TaskKind kind)
 {
-    ExecContext ctx(rng, nullptr, trace::TaskKind::ChunkBody);
+    ExecContext ctx(rng, nullptr, kind);
     for (std::size_t i = from; i < to; ++i) {
         const double out = model.update(state, i, ctx);
         if (outs)
@@ -41,16 +142,19 @@ NativeRuntime::NativeRuntime(unsigned max_threads)
 }
 
 NativeRuntime::Result
-NativeRuntime::runSequential(const IStateModel &model,
-                             std::uint64_t seed) const
+NativeRuntime::runSequential(const IStateModel &model, std::uint64_t seed,
+                             trace::MeasuredTraceRecorder *recorder) const
 {
+    const Observer obs(recorder);
     const auto start = std::chrono::steady_clock::now();
     Result result;
     result.outputs.resize(model.numInputs());
     StateHandle state = model.initialState();
     util::Rng rng = util::Rng(seed).split(1);
+    const TaskId body = obs.begin(TaskKind::ChunkBody, kMainThread);
     runSpan(model, *state, 0, model.numInputs(), rng,
-            result.outputs.data());
+            result.outputs.data(), TaskKind::ChunkBody);
+    obs.end(body);
     result.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
@@ -60,7 +164,8 @@ NativeRuntime::runSequential(const IStateModel &model,
 
 NativeRuntime::Result
 NativeRuntime::run(const IStateModel &model, const StatsConfig &config,
-                   std::uint64_t seed) const
+                   std::uint64_t seed,
+                   trace::MeasuredTraceRecorder *recorder) const
 {
     config.validate(model.numInputs());
     if (!config.useStatsTlp)
@@ -73,6 +178,19 @@ NativeRuntime::run(const IStateModel &model, const StatsConfig &config,
     const unsigned R = config.numOriginalStates;
     util::Rng base(seed);
 
+    if (C == 1) {
+        // Degenerate single chunk: the sequential program.
+        return runSequential(model, seed, recorder);
+    }
+
+    const Observer obs(recorder);
+    const auto chunk_thread = [](unsigned c) -> ThreadId { return 1 + c; };
+    const auto replica_thread = [&](unsigned c, unsigned rep) -> ThreadId {
+        return 1 + C + c * (R >= 1 ? R - 1 : 0) + rep;
+    };
+
+    const TaskId setup = obs.begin(TaskKind::Setup, kMainThread);
+
     std::vector<std::size_t> begin(C), end(C);
     for (unsigned c = 0; c < C; ++c) {
         begin[c] = n * c / C;
@@ -81,11 +199,8 @@ NativeRuntime::run(const IStateModel &model, const StatsConfig &config,
 
     Result result;
     result.outputs.assign(n, 0.0);
-
-    if (C == 1) {
-        // Degenerate single chunk: the sequential program.
-        return runSequential(model, seed);
-    }
+    std::vector<ChunkProducts> chunks(C);
+    obs.end(setup);
 
     // ----- Parallel phase: speculative execution of every chunk -------
     // Chunk workers run on the shared process pool (capped at
@@ -93,11 +208,12 @@ NativeRuntime::run(const IStateModel &model, const StatsConfig &config,
     // batch per round; each iteration writes only chunks[c], so the
     // dynamic iteration-to-thread mapping cannot change the result.
     util::ThreadPool &pool = util::ThreadPool::global();
-    std::vector<ChunkProducts> chunks(C);
+    const ScopedPoolProfile poolProfile(pool, recorder);
     pool.parallelFor(
         C,
         [&](std::size_t chunk) {
             const unsigned c = static_cast<unsigned>(chunk);
+            const ThreadId th = chunk_thread(c);
             ChunkProducts &cp = chunks[c];
             StateHandle working;
             if (c == 0) {
@@ -107,9 +223,17 @@ NativeRuntime::run(const IStateModel &model, const StatsConfig &config,
                 // engine: split(2000 + c)).
                 working = model.coldState();
                 util::Rng alt_rng = base.split(2000 + c);
+                cp.altTask = obs.begin(TaskKind::AltProducer, th,
+                                       static_cast<std::int32_t>(c));
+                obs.dep(setup, cp.altTask);
                 runSpan(model, *working, begin[c] - K, begin[c],
-                        alt_rng, nullptr);
+                        alt_rng, nullptr, TaskKind::AltProducer);
+                obs.end(cp.altTask);
+                cp.specCopyTask =
+                    obs.begin(TaskKind::StateCopy, th,
+                              static_cast<std::int32_t>(c));
                 cp.specState = working->clone();
+                obs.end(cp.specCopyTask);
             }
 
             const bool needs_snapshot = c + 1 < C;
@@ -118,12 +242,27 @@ NativeRuntime::run(const IStateModel &model, const StatsConfig &config,
                                : end[c];
             util::Rng body_rng = base.split(1000 + c);
             cp.outputs.resize(end[c] - begin[c]);
+            cp.bodyA = obs.begin(TaskKind::ChunkBody, th,
+                                 static_cast<std::int32_t>(c));
+            if (c == 0)
+                obs.dep(setup, cp.bodyA);
             runSpan(model, *working, begin[c], snap, body_rng,
-                    cp.outputs.data());
+                    cp.outputs.data(), TaskKind::ChunkBody);
+            obs.end(cp.bodyA);
+            cp.bodyLast = cp.bodyA;
             if (needs_snapshot) {
+                cp.snapshotTask =
+                    obs.begin(TaskKind::StateCopy, th,
+                              static_cast<std::int32_t>(c));
                 cp.snapshot = working->clone();
+                obs.end(cp.snapshotTask);
+                cp.bodyB = obs.begin(TaskKind::ChunkBody, th,
+                                     static_cast<std::int32_t>(c));
                 runSpan(model, *working, snap, end[c], body_rng,
-                        cp.outputs.data() + (snap - begin[c]));
+                        cp.outputs.data() + (snap - begin[c]),
+                        TaskKind::ChunkBody);
+                obs.end(cp.bodyB);
+                cp.bodyLast = cp.bodyB;
             }
             cp.finalState = std::move(working);
         },
@@ -135,6 +274,8 @@ NativeRuntime::run(const IStateModel &model, const StatsConfig &config,
     StateHandle committed_owned;
     StateHandle committed_snapshot =
         chunks[0].snapshot ? chunks[0].snapshot->clone() : nullptr;
+    TaskId committed_final_task = chunks[0].bodyLast;
+    TaskId committed_snapshot_task = chunks[0].snapshotTask;
     std::copy(chunks[0].outputs.begin(), chunks[0].outputs.end(),
               result.outputs.begin() + begin[0]);
 
@@ -143,24 +284,53 @@ NativeRuntime::run(const IStateModel &model, const StatsConfig &config,
         // snapshot, in parallel (streams: split(3000 + c*128 + rep)).
         const std::size_t snap = std::max(begin[c], end[c] - K);
         std::vector<StateHandle> replicas(R >= 1 ? R - 1 : 0);
+        std::vector<TaskId> replica_tasks(replicas.size(), kNoTask);
         if (R > 1) {
             pool.parallelFor(
                 R - 1,
                 [&](std::size_t rep) {
+                    const ThreadId rth =
+                        replica_thread(c, static_cast<unsigned>(rep));
+                    const TaskId rep_copy =
+                        obs.begin(TaskKind::StateCopy, rth,
+                                  static_cast<std::int32_t>(c));
+                    obs.dep(committed_snapshot_task, rep_copy);
                     StateHandle replica = committed_snapshot->clone();
+                    obs.end(rep_copy);
+                    const TaskId rep_task =
+                        obs.begin(TaskKind::OriginalStateGen, rth,
+                                  static_cast<std::int32_t>(c));
                     util::Rng rng =
                         base.split(3000 + c * 128 + rep);
-                    runSpan(model, *replica, snap, end[c], rng, nullptr);
+                    runSpan(model, *replica, snap, end[c], rng, nullptr,
+                            TaskKind::OriginalStateGen);
+                    obs.end(rep_task);
+                    replica_tasks[rep] = rep_task;
                     replicas[rep] = std::move(replica);
                 },
                 maxThreads);
         }
 
-        // Commit check of chunk c+1.
+        // Commit check of chunk c+1: compare its speculative state
+        // against each original state until a match (paper Fig. 6).
         ChunkProducts &nxt = chunks[c + 1];
-        bool matched = model.matches(*nxt.specState, *committed_final);
+        const auto compare = [&](const State &original, bool first) {
+            const TaskId cmp =
+                obs.begin(TaskKind::StateCompare, kMainThread,
+                          static_cast<std::int32_t>(c));
+            if (first) {
+                obs.dep(committed_final_task, cmp);
+                obs.dep(nxt.specCopyTask, cmp);
+                for (TaskId rt : replica_tasks)
+                    obs.dep(rt, cmp);
+            }
+            const bool matched = model.matches(*nxt.specState, original);
+            obs.end(cmp);
+            return matched;
+        };
+        bool matched = compare(*committed_final, true);
         for (unsigned rep = 0; !matched && rep + 1 < R; ++rep)
-            matched = model.matches(*nxt.specState, *replicas[rep]);
+            matched = compare(*replicas[rep], false);
 
         if (matched) {
             ++result.commits;
@@ -170,24 +340,53 @@ NativeRuntime::run(const IStateModel &model, const StatsConfig &config,
             committed_final = nxt.finalState.get();
             committed_snapshot =
                 nxt.snapshot ? nxt.snapshot->clone() : nullptr;
+            committed_final_task = nxt.bodyLast;
+            committed_snapshot_task = nxt.snapshotTask;
         } else {
             // Abort: re-execute chunk c+1 from the committed final
-            // state (streams: split(5000 + c + 1)).
+            // state (streams: split(5000 + c + 1)).  The wasted
+            // speculative body work is re-attributed to
+            // mispeculation, exactly as the engine retags it.
             ++result.aborts;
+            obs.retag(nxt.bodyA, TaskKind::MispecReExec);
+            obs.retag(nxt.bodyB, TaskKind::MispecReExec);
+            const TaskId redo_copy =
+                obs.begin(TaskKind::StateCopy, kMainThread,
+                          static_cast<std::int32_t>(c + 1));
+            obs.dep(committed_final_task, redo_copy);
             StateHandle redo = committed_final->clone();
+            obs.end(redo_copy);
             util::Rng redo_rng = base.split(5000 + c + 1);
             const bool needs_snapshot = c + 2 < C;
             const std::size_t redo_snap =
                 needs_snapshot ? std::max(begin[c + 1], end[c + 1] - K)
                                : end[c + 1];
+            const TaskId redo_a =
+                obs.begin(TaskKind::MispecReExec, kMainThread,
+                          static_cast<std::int32_t>(c + 1));
             runSpan(model, *redo, begin[c + 1], redo_snap, redo_rng,
-                    result.outputs.data() + begin[c + 1]);
+                    result.outputs.data() + begin[c + 1],
+                    TaskKind::MispecReExec);
+            obs.end(redo_a);
+            committed_final_task = redo_a;
             if (needs_snapshot) {
+                const TaskId redo_snap_copy =
+                    obs.begin(TaskKind::StateCopy, kMainThread,
+                              static_cast<std::int32_t>(c + 1));
                 committed_snapshot = redo->clone();
+                obs.end(redo_snap_copy);
+                committed_snapshot_task = redo_snap_copy;
+                const TaskId redo_b =
+                    obs.begin(TaskKind::MispecReExec, kMainThread,
+                              static_cast<std::int32_t>(c + 1));
                 runSpan(model, *redo, redo_snap, end[c + 1], redo_rng,
-                        result.outputs.data() + redo_snap);
+                        result.outputs.data() + redo_snap,
+                        TaskKind::MispecReExec);
+                obs.end(redo_b);
+                committed_final_task = redo_b;
             } else {
                 committed_snapshot.reset();
+                committed_snapshot_task = kNoTask;
             }
             committed_owned = std::move(redo);
             committed_final = committed_owned.get();

@@ -16,4 +16,21 @@ MachineModel::haswell(unsigned cores)
     return m;
 }
 
+MachineModel
+MachineModel::measured(unsigned cores)
+{
+    if (cores == 0)
+        util::fatal("machine needs at least one core");
+    MachineModel m;
+    m.name = "measured-" + std::to_string(cores) + "c";
+    m.numCores = cores;
+    m.coresPerSocket = cores; // Single NUMA domain: no modeled QPI hop.
+    m.ghz = 1e-3;             // 1 cycle = 1 us, so seconds() divides by 1e6.
+    m.cyclesPerWork = 1.0;
+    m.syncOpCycles = 0.0;
+    m.contextSwitchCycles = 0.0;
+    m.crossSocketCopyPenalty = 1.0;
+    return m;
+}
+
 } // namespace repro::platform

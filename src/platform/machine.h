@@ -73,6 +73,16 @@ struct MachineModel
      * runs use one processor); for more it spreads across two sockets.
      */
     static MachineModel haswell(unsigned cores);
+
+    /**
+     * The cost model for *measured* task graphs (work units are
+     * microseconds, see trace/measured_trace.h): 1 cycle = 1 us, no
+     * modeled synchronization, copy, or context-switch surcharges —
+     * measured durations already contain every real cost.  Used by
+     * the what-if ladder over native runs
+     * (analysis::analyzeMeasuredGraph).
+     */
+    static MachineModel measured(unsigned cores);
 };
 
 } // namespace repro::platform

@@ -1,0 +1,100 @@
+#include "platform/measured.h"
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "util/log.h"
+
+namespace repro::platform {
+
+using trace::Task;
+using trace::TaskId;
+
+Schedule
+measuredSchedule(const trace::MeasuredTrace &trace)
+{
+    const std::size_t n = trace.graph.size();
+    REPRO_ASSERT(trace.startUs.size() == n && trace.finishUs.size() == n &&
+                     trace.lane.size() == n,
+                 "measured trace arrays do not match its graph");
+
+    Schedule sched;
+    sched.cores = std::max(trace.laneCount, 1u);
+    sched.tasks.resize(n);
+    sched.corePredecessor.resize(n);
+    sched.coreBusy.assign(sched.cores, 0.0);
+    if (n == 0)
+        return sched;
+
+    for (TaskId id = 0; id < n; ++id) {
+        const Task &t = trace.graph.task(id);
+        TaskSchedule &ts = sched.tasks[id];
+        ts.start = trace.startUs[id];
+        ts.finish = trace.finishUs[id];
+        ts.core = trace.lane[id];
+        ts.criticalDep = id;
+        // Ready when the last dependency finished (0 with none).
+        double ready = 0.0;
+        for (TaskId d : t.deps) {
+            if (trace.finishUs[d] >= ready) {
+                ready = trace.finishUs[d];
+                ts.criticalDep = d;
+            }
+        }
+        ts.ready = std::min(ready, ts.start);
+
+        const double busy = ts.finish - ts.start;
+        sched.coreBusy[ts.core] += busy;
+        sched.busyByKind[static_cast<std::size_t>(t.kind)] += busy;
+        sched.makespan = std::max(sched.makespan, ts.finish);
+    }
+
+    // Lane predecessors: previous task on the same lane in start order
+    // (task ids break ties — they are handed out in begin order).
+    std::vector<std::vector<TaskId>> byLane(sched.cores);
+    for (TaskId id = 0; id < n; ++id)
+        byLane[trace.lane[id]].push_back(id);
+    for (auto &laneTasks : byLane) {
+        std::sort(laneTasks.begin(), laneTasks.end(),
+                  [&](TaskId a, TaskId b) {
+                      return std::tie(trace.startUs[a], a) <
+                             std::tie(trace.startUs[b], b);
+                  });
+        for (std::size_t i = 0; i < laneTasks.size(); ++i) {
+            const TaskId id = laneTasks[i];
+            const TaskId pred = i == 0 ? id : laneTasks[i - 1];
+            sched.corePredecessor[id] = pred;
+            // Occupancy-bound: the lane, not the inputs, delayed the
+            // start (its previous task ran past this task's ready
+            // time).
+            sched.tasks[id].startedByCoreWait =
+                pred != id &&
+                sched.tasks[pred].finish > sched.tasks[id].ready;
+        }
+    }
+
+    // Synchronization-wait attribution, as the simulator computes it:
+    // time a logical thread spent blocked on a cross-thread dependency
+    // after its own previous work had finished.
+    for (TaskId id = 0; id < n; ++id) {
+        const Task &t = trace.graph.task(id);
+        const TaskSchedule &ts = sched.tasks[id];
+        if (ts.criticalDep == id)
+            continue;
+        if (trace.graph.task(ts.criticalDep).thread == t.thread)
+            continue;
+        double own_prev_finish = 0.0;
+        for (TaskId d : t.deps) {
+            if (trace.graph.task(d).thread == t.thread) {
+                own_prev_finish =
+                    std::max(own_prev_finish, sched.tasks[d].finish);
+            }
+        }
+        sched.syncWaitCycles += std::max(0.0, ts.ready - own_prev_finish);
+    }
+
+    return sched;
+}
+
+} // namespace repro::platform

@@ -24,11 +24,15 @@ struct ForState
 
     std::mutex mutex;
     std::condition_variable done;
-    std::size_t completed = 0;        //!< Guarded by mutex.
-    std::exception_ptr error;         //!< First failure; guarded by mutex.
+    std::size_t completed = 0; //!< Claimed iterations finished; guarded.
+    /** Iterations the loop waits for: n, shrunk on the first failure
+     *  to the number claimed up to that point (fail fast).  Guarded by
+     *  mutex. */
+    std::size_t target = 0;
+    std::exception_ptr error;  //!< First failure; guarded by mutex.
 };
 
-/** Claims and runs iterations until none are left. */
+/** Claims and runs iterations until none are left (or a body failed). */
 void
 drain(const std::shared_ptr<ForState> &st)
 {
@@ -41,9 +45,15 @@ drain(const std::shared_ptr<ForState> &st)
             err = std::current_exception();
         }
         std::lock_guard<std::mutex> lock(st->mutex);
-        if (err && !st->error)
+        if (err && !st->error) {
             st->error = err;
-        if (++st->completed == st->n)
+            // Stop further claims.  exchange() also tells us how many
+            // iterations were ever claimed (clamped: racing claims may
+            // overshoot n) — exactly the ones the caller must wait for.
+            const std::size_t claimed = st->next.exchange(st->n);
+            st->target = std::min(claimed, st->n);
+        }
+        if (++st->completed >= st->target)
             st->done.notify_all();
     }
 }
@@ -55,36 +65,62 @@ ThreadPool::ThreadPool(unsigned workers)
     const unsigned count = defaultThreadCount(workers);
     workers_.reserve(count);
     for (unsigned i = 0; i < count; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
+{
+    stop();
+}
+
+void
+ThreadPool::stop()
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stopping_ = true;
     }
     available_.notify_all();
-    for (auto &worker : workers_)
-        worker.join();
+    for (auto &worker : workers_) {
+        if (worker.joinable())
+            worker.join();
+    }
 }
 
-void
+bool
 ThreadPool::enqueue(std::function<void()> task)
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        REPRO_ASSERT(!stopping_, "submit on a stopping ThreadPool");
+        if (stopping_)
+            return false;
         queue_.push_back(std::move(task));
     }
     available_.notify_one();
+    return true;
+}
+
+std::shared_ptr<ThreadPool::Profiler>
+ThreadPool::setProfiler(std::shared_ptr<Profiler> profiler)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::swap(profiler_, profiler);
+    return profiler;
+}
+
+std::shared_ptr<ThreadPool::Profiler>
+ThreadPool::profiler() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return profiler_;
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(unsigned worker)
 {
     for (;;) {
         std::function<void()> task;
+        std::shared_ptr<Profiler> prof;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             available_.wait(lock,
@@ -93,8 +129,16 @@ ThreadPool::workerLoop()
                 return; // stopping_ and drained
             task = std::move(queue_.front());
             queue_.pop_front();
+            prof = profiler_;
         }
-        task();
+        if (prof) {
+            const Clock::time_point start = Clock::now();
+            prof->onTaskBegin(worker, start);
+            task();
+            prof->onTaskEnd(worker, start, Clock::now());
+        } else {
+            task();
+        }
     }
 }
 
@@ -120,13 +164,17 @@ ThreadPool::parallelFor(std::size_t n,
     auto st = std::make_shared<ForState>();
     st->body = body;
     st->n = n;
-    for (std::size_t h = 0; h < helpers; ++h)
-        enqueue([st] { drain(st); });
+    st->target = n;
+    for (std::size_t h = 0; h < helpers; ++h) {
+        // A stopping pool rejects the helper; the caller drains alone.
+        if (!enqueue([st] { drain(st); }))
+            break;
+    }
 
     drain(st); // The caller is always one of the executors.
 
     std::unique_lock<std::mutex> lock(st->mutex);
-    st->done.wait(lock, [&] { return st->completed == st->n; });
+    st->done.wait(lock, [&] { return st->completed >= st->target; });
     if (st->error)
         std::rethrow_exception(st->error);
 }

@@ -17,16 +17,25 @@
  *    inside a pool task (or on a pool whose workers are all busy)
  *    still completes — it never deadlocks waiting for a free worker,
  *    it just degrades toward caller-only execution.
+ *
+ * Observability: an optional Profiler receives begin/end callbacks
+ * (worker id + steady-clock timestamps) around every task a worker
+ * dequeues.  The measured-trace layer (trace/measured_trace.h) uses
+ * this to account real pool occupancy during native STATS runs; when
+ * no profiler is installed the cost is one pointer copy under the
+ * queue lock the worker already holds.
  */
 
 #ifndef REPRO_UTIL_THREAD_POOL_H
 #define REPRO_UTIL_THREAD_POOL_H
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <type_traits>
@@ -40,6 +49,31 @@ namespace repro::util {
 class ThreadPool
 {
   public:
+    /** Clock used for profiling timestamps. */
+    using Clock = std::chrono::steady_clock;
+
+    /**
+     * Observer of worker-side task execution.  Callbacks run on the
+     * executing worker thread, around every task dequeued from the
+     * queue (one submit() task, or one helper batch of a
+     * parallelFor; iterations the *caller* drains are not pool tasks
+     * and are not reported).  Implementations must be thread-safe
+     * and cheap — they sit on the worker hot path.
+     */
+    class Profiler
+    {
+      public:
+        virtual ~Profiler() = default;
+
+        /** About to run a task on worker @p worker (0-based). */
+        virtual void onTaskBegin(unsigned worker,
+                                 Clock::time_point start) = 0;
+
+        /** Finished the task started at @p start on @p worker. */
+        virtual void onTaskEnd(unsigned worker, Clock::time_point start,
+                               Clock::time_point end) = 0;
+    };
+
     /**
      * @param workers Worker thread count; 0 selects
      *        defaultThreadCount(0) (hardware concurrency, with a
@@ -47,11 +81,22 @@ class ThreadPool
      */
     explicit ThreadPool(unsigned workers = 0);
 
-    /** Drains nothing: pending tasks still run, then workers join. */
+    /** Equivalent to stop(): pending tasks still run, workers join. */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Stops the pool: pending tasks still run, then the workers join.
+     * Idempotent (the destructor calls it), but not safe to race with
+     * another stop() call.  A stopped pool stays usable in degraded
+     * form: submit() runs the task inline on the calling thread, and
+     * parallelFor() executes caller-only — late submissions during
+     * static destruction of the global pool degrade instead of
+     * crashing.
+     */
+    void stop();
 
     /** Number of worker threads (excludes callers that participate in
      *  parallelFor). */
@@ -62,7 +107,10 @@ class ThreadPool
 
     /**
      * Enqueues @p fn and returns a future of its result.  The task may
-     * run on any worker; exceptions propagate through the future.
+     * run on any worker; exceptions propagate through the future.  On
+     * a stopped (or stopping) pool the task runs inline on the
+     * calling thread before submit returns — the future is still
+     * valid.
      */
     template <typename F>
     auto
@@ -72,16 +120,20 @@ class ThreadPool
         auto task = std::make_shared<std::packaged_task<R()>>(
             std::forward<F>(fn));
         std::future<R> future = task->get_future();
-        enqueue([task] { (*task)(); });
+        if (!enqueue([task] { (*task)(); }))
+            (*task)(); // Pool stopping: degrade to caller execution.
         return future;
     }
 
     /**
      * Runs @p body(i) for every i in [0, n), spreading iterations over
      * at most @p max_concurrency concurrent executors (the caller plus
-     * helper workers; 0 = caller plus every worker).  Blocks until all
-     * iterations finished.  The first exception thrown by @p body is
-     * rethrown here after the remaining iterations completed.
+     * helper workers; 0 = caller plus every worker).  Blocks until the
+     * loop finished.
+     *
+     * Exceptions fail fast: once a body throws, no further iterations
+     * are claimed; iterations already in flight on other executors
+     * still complete, and the first exception thrown is rethrown here.
      *
      * Iterations are claimed dynamically from a shared counter, so the
      * mapping of iteration to thread is not deterministic — bodies must
@@ -91,6 +143,18 @@ class ThreadPool
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &body,
                      unsigned max_concurrency = 0);
+
+    /**
+     * Installs @p profiler (nullptr uninstalls).  The pool keeps a
+     * reference, so a worker that dequeued a task just before an
+     * uninstall can still safely finish reporting it; callers should
+     * not assume callbacks stop instantly.  Returns the previously
+     * installed profiler.
+     */
+    std::shared_ptr<Profiler> setProfiler(std::shared_ptr<Profiler> profiler);
+
+    /** The currently installed profiler (may be null). */
+    std::shared_ptr<Profiler> profiler() const;
 
     /**
      * The process-wide pool shared by the autotuner and the native
@@ -107,13 +171,15 @@ class ThreadPool
     static unsigned defaultThreadCount(unsigned requested = 0);
 
   private:
-    void enqueue(std::function<void()> task);
-    void workerLoop();
+    /** False when the pool is stopping and the task was not queued. */
+    bool enqueue(std::function<void()> task);
+    void workerLoop(unsigned worker);
 
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable available_;
     std::deque<std::function<void()>> queue_;
     std::vector<std::thread> workers_;
+    std::shared_ptr<Profiler> profiler_; //!< Guarded by mutex_.
     bool stopping_ = false;
 };
 

@@ -8,7 +8,9 @@
 #include <numeric>
 
 #include "analysis/overheads.h"
+#include "core/native_runtime.h"
 #include "platform/machine.h"
+#include "trace/measured_trace.h"
 #include "workloads/workload.h"
 
 namespace {
@@ -163,6 +165,37 @@ TEST(ExtraComputation, CopyingNotOnCriticalPath)
     const ExtraComputationBreakdown e =
         analyzer.analyzeExtraComputation(*w, w->tunedConfig(28), 42);
     EXPECT_LT(e.copyLoss, e.specStateLoss + e.origStatesLoss + 0.5);
+}
+
+TEST(MeasuredOverheads, LadderPartitionsIdealOnMeasuredGraph)
+{
+    // Run the measured ladder on a real recorded native execution: the
+    // per-category losses plus the achieved fraction must partition
+    // [0, 1] like the simulated ladder, and actual <= ideal.
+    const auto w = makeWorkload("streamclassifier", kScale);
+    auto config = w->tunedConfig(4);
+    config.innerTlpThreads = 1;
+    const repro::core::NativeRuntime native(4);
+    const auto seq = native.runSequential(w->model(), 42);
+    repro::trace::MeasuredTraceRecorder rec;
+    const auto run = native.run(w->model(), config, 42, &rec);
+    const auto mt = rec.finish();
+
+    const OverheadBreakdown b = repro::analysis::analyzeMeasuredGraph(
+        mt.graph, 4, seq.wallSeconds, run.commits, run.aborts);
+    EXPECT_DOUBLE_EQ(b.idealSpeedup, 4.0);
+    EXPECT_GT(b.actualSpeedup, 0.0);
+    EXPECT_EQ(b.commits, run.commits);
+    EXPECT_EQ(b.aborts, run.aborts);
+    for (double f : b.lostFraction) {
+        EXPECT_GE(f, 0.0);
+        EXPECT_LE(f, 1.0);
+    }
+    // Exact when every rung stays below ideal; timing noise can push a
+    // counterfactual marginally past it, hence the small tolerance.
+    const double lost = std::accumulate(b.lostFraction.begin(),
+                                        b.lostFraction.end(), 0.0);
+    EXPECT_NEAR(lost + b.actualSpeedup / b.idealSpeedup, 1.0, 0.05);
 }
 
 } // namespace

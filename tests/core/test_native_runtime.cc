@@ -7,9 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "core/engine.h"
 #include "core/ema_model.h"
 #include "core/native_runtime.h"
+#include "trace/measured_trace.h"
 #include "workloads/workload.h"
 
 namespace {
@@ -19,6 +22,9 @@ using repro::core::NativeRuntime;
 using repro::core::StatsConfig;
 using repro::core::TlpModel;
 using repro::testing::EmaModel;
+using repro::trace::MeasuredTrace;
+using repro::trace::MeasuredTraceRecorder;
+using repro::trace::TaskKind;
 
 StatsConfig
 cfg(unsigned chunks, unsigned k, unsigned r)
@@ -135,6 +141,168 @@ TEST(NativeRuntime, ThreadCapRespectedFunctionally)
     EXPECT_EQ(a.commits, b.commits);
     for (std::size_t i = 0; i < a.outputs.size(); ++i)
         ASSERT_DOUBLE_EQ(a.outputs[i], b.outputs[i]);
+}
+
+TEST(NativeRuntime, AbortRewritesSpansAtCorrectGlobalIndices)
+{
+    // Abort path regression: with C chunks the re-execution writes two
+    // spans — [begin, redo_snap) and [redo_snap, end) — directly into
+    // the global output array.  An off-by-anything in the redo_snap
+    // offset corrupts outputs silently while commits/aborts still
+    // match, so check every element against the engine oracle for
+    // several all-abort geometries (different K push redo_snap around).
+    const Engine engine;
+    const NativeRuntime native(4);
+    EmaModel::Config mc;
+    mc.inputs = 120;
+    mc.alpha = 0.01;
+    mc.tolerance = 1e-9; // Never matches: every boundary aborts.
+    const EmaModel model(mc);
+    const struct
+    {
+        unsigned chunks, k, r;
+    } geometries[] = {{5, 2, 1}, {5, 7, 2}, {4, 24, 2}, {3, 39, 1}};
+    for (const auto &g : geometries) {
+        const auto config = cfg(g.chunks, g.k, g.r);
+        const auto logical =
+            engine.runStats(model, {}, TlpModel{}, config, 5);
+        const auto real = native.run(model, config, 5);
+        ASSERT_EQ(real.aborts, g.chunks - 1)
+            << "geometry C=" << g.chunks << " did not force all aborts";
+        EXPECT_EQ(real.commits, logical.commits);
+        ASSERT_EQ(real.outputs.size(), logical.outputs.size());
+        for (std::size_t i = 0; i < real.outputs.size(); ++i) {
+            ASSERT_DOUBLE_EQ(real.outputs[i], logical.outputs[i])
+                << "C=" << g.chunks << ",k=" << g.k << " input " << i;
+        }
+    }
+}
+
+TEST(NativeRuntime, RecordingPreservesResults)
+{
+    // The recorder is strictly observational: outputs, commits, and
+    // aborts must be bit-identical with and without it (acceptance
+    // criterion of the measured-trace layer), on both a committing and
+    // an aborting run.
+    EmaModel::Config mc;
+    mc.inputs = 128;
+    const NativeRuntime native(4);
+    for (const bool aborting : {false, true}) {
+        mc.alpha = aborting ? 0.01 : 0.5;
+        mc.tolerance = aborting ? 1e-7 : 0.1;
+        const EmaModel model(mc);
+        const auto config = aborting ? cfg(4, 2, 2) : cfg(8, 8, 3);
+        const std::uint64_t seed = aborting ? 5 : 17;
+
+        const auto plain = native.run(model, config, seed);
+        MeasuredTraceRecorder rec;
+        const auto recorded = native.run(model, config, seed, &rec);
+        EXPECT_EQ(recorded.commits, plain.commits);
+        EXPECT_EQ(recorded.aborts, plain.aborts);
+        ASSERT_EQ(recorded.outputs.size(), plain.outputs.size());
+        for (std::size_t i = 0; i < plain.outputs.size(); ++i)
+            ASSERT_DOUBLE_EQ(recorded.outputs[i], plain.outputs[i]);
+        EXPECT_GT(rec.size(), 0u);
+
+        // Sequential recording, same guarantee.
+        const auto seq_plain = native.runSequential(model, seed);
+        MeasuredTraceRecorder seq_rec;
+        const auto seq_recorded =
+            native.runSequential(model, seed, &seq_rec);
+        for (std::size_t i = 0; i < seq_plain.outputs.size(); ++i) {
+            ASSERT_DOUBLE_EQ(seq_recorded.outputs[i],
+                             seq_plain.outputs[i]);
+        }
+        const MeasuredTrace seq_mt = seq_rec.finish();
+        ASSERT_EQ(seq_mt.graph.size(), 1u);
+        EXPECT_EQ(seq_mt.graph.task(0).kind, TaskKind::ChunkBody);
+    }
+}
+
+std::array<std::size_t, repro::trace::kNumTaskKinds>
+kindCounts(const MeasuredTrace &mt)
+{
+    std::array<std::size_t, repro::trace::kNumTaskKinds> counts{};
+    for (const auto &t : mt.graph.tasks())
+        ++counts[static_cast<std::size_t>(t.kind)];
+    return counts;
+}
+
+TEST(NativeRuntime, RecordedKindsMatchProtocolWhenAllCommit)
+{
+    // All-commit run, C=8, K=8, R=3: the measured graph must contain
+    // exactly the protocol's task population with true kinds — the
+    // runSpan mislabeling bug tagged alt-producer and replica spans
+    // ChunkBody, which this distribution catches.
+    EmaModel::Config mc;
+    mc.inputs = 128;
+    mc.alpha = 0.5;
+    mc.tolerance = 0.1;
+    const EmaModel model(mc);
+    const NativeRuntime native(4);
+    const unsigned C = 8, R = 3;
+    MeasuredTraceRecorder rec;
+    const auto result = native.run(model, cfg(C, 8, R), 17);
+    MeasuredTraceRecorder rec2;
+    const auto recorded = native.run(model, cfg(C, 8, R), 17, &rec2);
+    ASSERT_EQ(recorded.aborts, 0u);
+    ASSERT_EQ(recorded.commits, C - 1);
+    ASSERT_EQ(result.aborts, 0u);
+
+    const MeasuredTrace mt = rec2.finish();
+    const auto counts = kindCounts(mt);
+    const auto count = [&](TaskKind k) {
+        return counts[static_cast<std::size_t>(k)];
+    };
+    EXPECT_EQ(count(TaskKind::Setup), 1u);
+    // Bodies: chunk 0..C-2 split around the snapshot (2 each), the
+    // last chunk runs in one piece.
+    EXPECT_EQ(count(TaskKind::ChunkBody), 2u * (C - 1) + 1u);
+    EXPECT_EQ(count(TaskKind::AltProducer), C - 1);
+    // Replicas: (R-1) per boundary.
+    EXPECT_EQ(count(TaskKind::OriginalStateGen), (C - 1) * (R - 1));
+    // All-commit: every boundary matches on the first comparison.
+    EXPECT_EQ(count(TaskKind::StateCompare), C - 1);
+    EXPECT_EQ(count(TaskKind::MispecReExec), 0u);
+    // Copies: spec-state clone per alt chunk, snapshot clone per
+    // non-final chunk, replica clone per regenerated original.
+    EXPECT_EQ(count(TaskKind::StateCopy),
+              (C - 1) + (C - 1) + (C - 1) * (R - 1));
+    // Every measured task carries a real (non-negative) duration.
+    for (const auto &t : mt.graph.tasks())
+        EXPECT_GE(t.work, 0.0);
+}
+
+TEST(NativeRuntime, RecordedKindsMarkAbortsAsMispec)
+{
+    // All-abort run: speculative bodies of aborted chunks are retagged
+    // MispecReExec (like the engine does) and the re-execution spans
+    // are recorded as MispecReExec, never ChunkBody.
+    EmaModel::Config mc;
+    mc.inputs = 128;
+    mc.alpha = 0.01;
+    mc.tolerance = 1e-7;
+    const EmaModel model(mc);
+    const NativeRuntime native(3);
+    const unsigned C = 4;
+    MeasuredTraceRecorder rec;
+    const auto recorded = native.run(model, cfg(C, 2, 2), 5, &rec);
+    ASSERT_EQ(recorded.aborts, C - 1);
+
+    const MeasuredTrace mt = rec.finish();
+    const auto counts = kindCounts(mt);
+    const auto count = [&](TaskKind k) {
+        return counts[static_cast<std::size_t>(k)];
+    };
+    // Only chunk 0's body commits; every other speculative body (2
+    // split spans or 1 whole) plus its re-execution is MispecReExec.
+    EXPECT_EQ(count(TaskKind::ChunkBody), 2u);
+    // Aborted chunks 1..C-2: 2 speculative spans + 2 redo spans; the
+    // last chunk: 1 + 1.
+    EXPECT_EQ(count(TaskKind::MispecReExec), 4u * (C - 2) + 2u);
+    EXPECT_EQ(count(TaskKind::AltProducer), C - 1);
+    EXPECT_EQ(count(TaskKind::StateCompare),
+              recorded.commits + 2u * recorded.aborts);
 }
 
 TEST(NativeRuntimeDeathTest, RequiresStatsTlp)

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
@@ -126,8 +128,100 @@ TEST(ThreadPool, ParallelForPropagatesFirstException)
                                  throw std::runtime_error("iteration 7");
                          }),
         std::runtime_error);
-    // All iterations still ran (independent work is not cancelled).
-    EXPECT_EQ(executed.load(), 32);
+    // Fail-fast: iterations claimed before the failure still run, but
+    // unclaimed ones are cancelled — never more than the loop size.
+    EXPECT_GE(executed.load(), 1);
+    EXPECT_LE(executed.load(), 32);
+    // The pool stays usable after a failed loop.
+    std::atomic<int> after{0};
+    pool.parallelFor(16, [&](std::size_t) { ++after; });
+    EXPECT_EQ(after.load(), 16);
+}
+
+TEST(ThreadPool, ParallelForFailsFastOnException)
+{
+    // A throwing body must abandon the (large) remaining iteration
+    // space instead of executing all of it.  Each executor can claim
+    // at most one iteration after the failure is published, so the
+    // executed count stays tiny compared to n.
+    ThreadPool pool(4);
+    constexpr std::size_t n = 1 << 16;
+    std::atomic<std::size_t> executed{0};
+    EXPECT_THROW(
+        pool.parallelFor(n,
+                         [&](std::size_t i) {
+                             ++executed;
+                             if (i == 11)
+                                 throw std::runtime_error("stop");
+                             std::this_thread::sleep_for(
+                                 std::chrono::microseconds(20));
+                         }),
+        std::runtime_error);
+    // Generous bound for noisy schedulers; still 64x below n, which
+    // the pre-fix behavior (run everything) always exceeded.
+    EXPECT_LE(executed.load(), std::size_t{1024});
+}
+
+TEST(ThreadPool, StopIsIdempotentAndDegradesGracefully)
+{
+    ThreadPool pool(2);
+    EXPECT_EQ(pool.submit([] { return 3; }).get(), 3);
+    pool.stop();
+    pool.stop(); // Second stop is a no-op, not a crash.
+
+    // Submitting to a stopped pool runs the task inline on the caller
+    // (instead of asserting, which used to crash during static
+    // destruction of the global pool).
+    auto f = pool.submit([] { return 7; });
+    EXPECT_EQ(f.get(), 7);
+
+    // parallelFor on a stopped pool degrades to caller-only execution
+    // but still covers every index.
+    std::atomic<int> hits{0};
+    pool.parallelFor(100, [&](std::size_t) { ++hits; });
+    EXPECT_EQ(hits.load(), 100);
+}
+
+TEST(ThreadPool, ProfilerObservesWorkerTasks)
+{
+    struct CountingProfiler : ThreadPool::Profiler
+    {
+        std::atomic<int> begins{0};
+        std::atomic<int> ends{0};
+        std::atomic<bool> ordered{true};
+        void
+        onTaskBegin(unsigned, ThreadPool::Clock::time_point) override
+        {
+            ++begins;
+        }
+        void
+        onTaskEnd(unsigned, ThreadPool::Clock::time_point start,
+                  ThreadPool::Clock::time_point end) override
+        {
+            if (end < start)
+                ordered = false;
+            ++ends;
+        }
+    };
+
+    ThreadPool pool(1); // One worker: every submitted task is observed.
+    auto prof = std::make_shared<CountingProfiler>();
+    EXPECT_EQ(pool.setProfiler(prof), nullptr);
+
+    constexpr int kTasks = 8;
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < kTasks; ++i)
+        futures.push_back(pool.submit([] {}));
+    for (auto &f : futures)
+        f.get();
+
+    // Uninstall and make sure no further callbacks arrive.
+    EXPECT_EQ(pool.setProfiler(nullptr), prof);
+    pool.submit([] {}).get();
+
+    EXPECT_EQ(prof->begins.load(), kTasks);
+    EXPECT_EQ(prof->ends.load(), kTasks);
+    EXPECT_TRUE(prof->ordered.load());
 }
 
 TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
