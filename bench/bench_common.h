@@ -75,6 +75,28 @@ hostMetadataJson(const std::string &indent = "  ")
     return os.str();
 }
 
+/**
+ * True when @p requested concurrent executors exceed the host's
+ * hardware concurrency — in that regime wall-clock "speedups" are
+ * time-shared, not parallel, and must not be read as scaling results.
+ * Prints a warning to stderr when so; every BENCH_*.json emitter
+ * records the returned boolean as "threads_exceed_cores" so baselines
+ * captured on small hosts are flagged in the artifact itself.
+ */
+inline bool
+threadsExceedCores(unsigned requested)
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    const bool exceeds = hw != 0 && requested > hw;
+    if (exceeds) {
+        std::cerr << "WARNING: requested parallelism (" << requested
+                  << ") exceeds hardware_concurrency (" << hw
+                  << "); wall-clock speedups are time-shared, not "
+                     "parallel\n";
+    }
+    return exceeds;
+}
+
 /** Prints @p table honoring --csv, preceded by a title line. */
 inline void
 emit(const util::Table &table, const std::string &title, bool csv)

@@ -8,17 +8,31 @@
  * trace::MeasuredTraceRecorder, and feeds it to the same §V-B ladder
  * (analysis::analyzeMeasuredGraph) — printing the measured
  * per-category speedup losses next to the DES prediction for the same
- * (workload, config, seed).  The machine-readable baseline lives in
- * BENCH_native_overheads.json at the repo root.
+ * (workload, config, seed).  Both commit protocols (barrier and
+ * pipelined, core::CommitProtocol) are characterized side by side, so
+ * the artifact quantifies exactly what the dependency-driven pipeline
+ * buys over the two-phase barrier.  The machine-readable baseline
+ * lives in BENCH_native_overheads.json at the repo root.
+ *
+ * Default config: facedet-and-track at full scale, 4 threads, 5
+ * repeats.  facedet-and-track is the workload whose tuned config has
+ * R = 3 original states — the commit protocols only differ in how
+ * replicas and commits are scheduled, so the default must exercise
+ * the replica path (streamclassifier tunes to R = 1: no replicas at
+ * all).  Full scale keeps chunk bodies long enough that, even on a
+ * host with fewer cores than threads, OS time-sharing averages out
+ * inside each chunk and the measured replay separates the protocols
+ * above scheduling noise.
  *
  * Flags (bench_common.h style):
- *   --scale=<0..1>     workload input scale          (default 0.25)
+ *   --scale=<0..1>     workload input scale          (default 1.0)
  *   --seed=<n>         run seed                      (default 42)
- *   --workload=<name>  benchmark to run              (default streamclassifier)
- *   --threads=<n>      parallelism cap, 0 = hardware (default 0)
- *   --repeats=<n>      timed runs, best taken        (default 3)
+ *   --workload=<name>  benchmark to run              (default facedet-and-track)
+ *   --threads=<n>      parallelism cap, 0 = hardware (default 4)
+ *   --repeats=<n>      timed runs, best taken        (default 5)
+ *   --pipeline=<mode>  on | off | both               (default both)
  *   --out=<path>       write the JSON here           (default BENCH_native_overheads.json)
- *   --trace=<path>     also dump the measured run as a Chrome trace
+ *   --trace=<path>     dump the last mode's measured run as a Chrome trace
  */
 
 #include <algorithm>
@@ -27,6 +41,7 @@
 #include <limits>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "analysis/critical_path.h"
 #include "analysis/overheads.h"
@@ -43,6 +58,7 @@
 using namespace repro;
 using analysis::OverheadBreakdown;
 using analysis::OverheadCategory;
+using core::CommitProtocol;
 using core::NativeRuntime;
 using repro::util::formatDouble;
 using repro::util::formatPercent;
@@ -64,21 +80,59 @@ lost(const OverheadBreakdown &b, OverheadCategory c)
 }
 
 void
-ladderJson(std::ostringstream &json, const char *key,
-           const OverheadBreakdown &b)
+ladderJson(std::ostringstream &json, const std::string &indent,
+           const char *key, const OverheadBreakdown &b)
 {
-    json << "  \"" << key << "\": {\n"
-         << "    \"ideal_speedup\": " << b.idealSpeedup << ",\n"
-         << "    \"actual_speedup\": " << b.actualSpeedup << ",\n"
-         << "    \"lost_fraction\": {";
+    json << indent << "\"" << key << "\": {\n"
+         << indent << "  \"ideal_speedup\": " << b.idealSpeedup << ",\n"
+         << indent << "  \"actual_speedup\": " << b.actualSpeedup
+         << ",\n"
+         << indent << "  \"lost_fraction\": {";
     for (std::size_t c = 0; c < analysis::kNumOverheadCategories; ++c) {
         json << (c ? ", " : "") << "\""
              << analysis::overheadCategoryName(
                     static_cast<OverheadCategory>(c))
              << "\": " << b.lostFraction[c];
     }
-    json << "}\n  }";
+    json << "}\n" << indent << "}";
 }
+
+/** One commit protocol, fully characterized. */
+struct ModeReport
+{
+    CommitProtocol protocol = CommitProtocol::Barrier;
+    double statsSeconds = 0.0;
+    NativeRuntime::Result recorded;
+    bool identical = true; //!< Recording did not change the results.
+    trace::MeasuredTrace mt;
+    platform::Schedule sched;
+    analysis::CriticalPathReport cp;
+    OverheadBreakdown measured;
+
+    /** Per-repeat sync+imbalance loss, one entry per recorded run. */
+    std::vector<double> syncImbalanceSamples;
+
+    /**
+     * The §V-B losses the pipeline is designed to shrink, averaged
+     * over every recorded repeat.  The mean, not the selected
+     * recording's value: on a host with fewer cores than threads the
+     * OS decides per run which executor straggles at the barrier, so
+     * any single run's number is bimodal (near zero when the caller
+     * happened to finish last, the full join wait otherwise) and only
+     * the expectation is stable.
+     */
+    double
+    syncPlusImbalance() const
+    {
+        if (syncImbalanceSamples.empty())
+            return lost(measured, OverheadCategory::Synchronization) +
+                   lost(measured, OverheadCategory::Imbalance);
+        double sum = 0.0;
+        for (double s : syncImbalanceSamples)
+            sum += s;
+        return sum / static_cast<double>(syncImbalanceSamples.size());
+    }
+};
 
 } // namespace
 
@@ -86,55 +140,118 @@ int
 main(int argc, char **argv)
 {
     const util::Cli cli(argc, argv);
-    const auto opt = bench::BenchOptions::parse(argc, argv, 0.25);
+    const auto opt = bench::BenchOptions::parse(argc, argv, 1.0);
     const std::string workload_name =
-        cli.getString("workload", "streamclassifier");
+        cli.getString("workload", "facedet-and-track");
     const unsigned threads = util::ThreadPool::defaultThreadCount(
-        static_cast<unsigned>(cli.getInt("threads", 0)));
+        static_cast<unsigned>(cli.getInt("threads", 4)));
     const int repeats =
-        std::max(1, static_cast<int>(cli.getInt("repeats", 3)));
+        std::max(1, static_cast<int>(cli.getInt("repeats", 5)));
+    const std::string pipeline_mode = cli.getString("pipeline", "both");
     const std::string out_path =
         cli.getString("out", "BENCH_native_overheads.json");
     const std::string trace_path = cli.getString("trace", "");
+
+    std::vector<CommitProtocol> protocols;
+    if (pipeline_mode == "both")
+        protocols = {CommitProtocol::Barrier, CommitProtocol::Pipelined};
+    else if (pipeline_mode == "on")
+        protocols = {CommitProtocol::Pipelined};
+    else if (pipeline_mode == "off")
+        protocols = {CommitProtocol::Barrier};
+    else
+        util::fatal("unknown --pipeline mode: " + pipeline_mode +
+                    " (expected on, off, or both)");
+
+    const bool oversubscribed = bench::threadsExceedCores(threads);
 
     const auto w = workloads::makeWorkload(workload_name, opt.scale);
     core::StatsConfig config = w->tunedConfig(threads);
     config.useStatsTlp = true;
     config.innerTlpThreads = 1; // Native path: no inner TLP re-execution.
-    const NativeRuntime rt(threads);
     const auto &model = w->model();
 
     // Native sequential baseline (denominator), best of repeats.
     double seq_seconds = std::numeric_limits<double>::infinity();
     NativeRuntime::Result seq;
     for (int r = 0; r < repeats; ++r) {
-        seq = rt.runSequential(model, opt.seed);
+        seq = NativeRuntime(threads).runSequential(model, opt.seed);
         seq_seconds = std::min(seq_seconds, seq.wallSeconds);
     }
 
-    // Unrecorded STATS run: the timing reference and identity oracle.
-    double stats_seconds = std::numeric_limits<double>::infinity();
-    NativeRuntime::Result plain;
-    for (int r = 0; r < repeats; ++r) {
-        plain = rt.run(model, config, opt.seed);
-        stats_seconds = std::min(stats_seconds, plain.wallSeconds);
+    std::vector<ModeReport> modes;
+    for (const CommitProtocol protocol : protocols) {
+        const NativeRuntime rt(threads, protocol);
+        ModeReport mode;
+        mode.protocol = protocol;
+
+        // Unrecorded STATS runs: the timing reference and identity
+        // oracle.
+        mode.statsSeconds = std::numeric_limits<double>::infinity();
+        NativeRuntime::Result plain;
+        for (int r = 0; r < repeats; ++r) {
+            plain = rt.run(model, config, opt.seed);
+            mode.statsSeconds =
+                std::min(mode.statsSeconds, plain.wallSeconds);
+        }
+
+        // Recorded runs: same results, plus the measured task graph.
+        // Keep the recording that used the most executor lanes and,
+        // among those, the smallest makespan.  Preferring lanes first
+        // matters on hosts with fewer cores than threads: there a
+        // repeat can degenerate to the caller draining every chunk
+        // itself — a serial execution that never exercises the commit
+        // protocol's scheduling constraints — and such a run must not
+        // represent the protocol.  On an unloaded multi-core host
+        // every repeat uses all lanes and the rule reduces to plain
+        // min-makespan (the run the OS disturbed least, same
+        // best-of-repeats rule as the timings above).
+        for (int r = 0; r < repeats; ++r) {
+            trace::MeasuredTraceRecorder recorder;
+            const NativeRuntime::Result recorded =
+                rt.run(model, config, opt.seed, &recorder);
+            trace::MeasuredTrace mt = recorder.finish();
+            const OverheadBreakdown ladder =
+                analysis::analyzeMeasuredGraph(mt.graph, threads,
+                                               seq_seconds,
+                                               recorded.commits,
+                                               recorded.aborts);
+            mode.syncImbalanceSamples.push_back(
+                lost(ladder, OverheadCategory::Synchronization) +
+                lost(ladder, OverheadCategory::Imbalance));
+            const bool better =
+                r == 0 || mt.laneCount > mode.mt.laneCount ||
+                (mt.laneCount == mode.mt.laneCount &&
+                 mt.makespanUs() < mode.mt.makespanUs());
+            if (better) {
+                mode.mt = std::move(mt);
+                mode.recorded = recorded;
+            }
+            mode.identical =
+                mode.identical && sameResult(recorded, plain);
+        }
+        if (!mode.identical) {
+            std::cerr << "WARNING: recording changed the "
+                      << core::commitProtocolName(protocol)
+                      << " results — observer bug\n";
+        }
+        mode.sched = platform::measuredSchedule(mode.mt);
+        mode.cp = analysis::criticalPathReport(mode.sched, mode.mt.graph);
+        mode.measured = analysis::analyzeMeasuredGraph(
+            mode.mt.graph, threads, seq_seconds, mode.recorded.commits,
+            mode.recorded.aborts);
+        modes.push_back(std::move(mode));
     }
 
-    // Recorded run: same results, plus the measured task graph.
-    trace::MeasuredTraceRecorder recorder;
-    const NativeRuntime::Result recorded =
-        rt.run(model, config, opt.seed, &recorder);
-    const bool identical = sameResult(recorded, plain);
-    if (!identical)
-        std::cerr << "WARNING: recording changed the results — "
-                     "observer bug\n";
-    const trace::MeasuredTrace mt = recorder.finish();
-
-    const platform::Schedule sched = platform::measuredSchedule(mt);
-    const auto cp = analysis::criticalPathReport(sched, mt.graph);
-    const OverheadBreakdown measured = analysis::analyzeMeasuredGraph(
-        mt.graph, threads, seq_seconds, recorded.commits,
-        recorded.aborts);
+    // Cross-protocol identity: the two schedules must agree bit for
+    // bit (the tests enforce this against the engine oracle; the bench
+    // repeats the check on its own workload/config).
+    for (std::size_t m = 1; m < modes.size(); ++m) {
+        if (!sameResult(modes[m].recorded, modes[0].recorded)) {
+            std::cerr << "WARNING: commit protocols disagree on "
+                         "results — scheduling bug\n";
+        }
+    }
 
     // DES prediction of the same (workload, config, seed) for the
     // side-by-side comparison.
@@ -147,14 +264,22 @@ main(int argc, char **argv)
         std::ofstream os(trace_path);
         if (!os)
             util::fatal("cannot write " + trace_path);
-        platform::writeChromeTrace(sched, mt.graph, os);
+        platform::writeChromeTrace(modes.back().sched,
+                                   modes.back().mt.graph, os);
     }
 
-    Table table({"Category", "measured", "DES model"});
+    std::vector<std::string> header{"Category"};
+    for (const ModeReport &mode : modes)
+        header.push_back(std::string("measured ") +
+                         core::commitProtocolName(mode.protocol));
+    header.push_back("DES model");
+    Table table(header);
     const auto row = [&](OverheadCategory c) {
-        table.addRow({analysis::overheadCategoryName(c),
-                      formatPercent(lost(measured, c)),
-                      formatPercent(lost(des, c))});
+        std::vector<std::string> cells{analysis::overheadCategoryName(c)};
+        for (const ModeReport &mode : modes)
+            cells.push_back(formatPercent(lost(mode.measured, c)));
+        cells.push_back(formatPercent(lost(des, c)));
+        table.addRow(cells);
     };
     row(OverheadCategory::Synchronization);
     row(OverheadCategory::ExtraComputation);
@@ -162,24 +287,43 @@ main(int argc, char **argv)
     row(OverheadCategory::SequentialCode);
     row(OverheadCategory::Mispeculation);
     row(OverheadCategory::Unreachability);
-    table.addRow({"achieved speedup",
-                  formatDouble(measured.actualSpeedup, 2) + "x",
-                  formatDouble(des.actualSpeedup, 2) + "x"});
+    {
+        std::vector<std::string> cells{"achieved speedup"};
+        for (const ModeReport &mode : modes)
+            cells.push_back(formatDouble(mode.measured.actualSpeedup, 2) +
+                            "x");
+        cells.push_back(formatDouble(des.actualSpeedup, 2) + "x");
+        table.addRow(cells);
+    }
     bench::emit(table,
                 "Measured vs DES % of ideal speedup lost (" +
                     workload_name + ", " + config.describe() + ", " +
                     std::to_string(threads) + " threads)",
                 opt.csv);
 
-    const double wall_speedup =
-        stats_seconds > 0.0 ? seq_seconds / stats_seconds : 0.0;
-    std::cout << "native: seq " << formatDouble(seq_seconds * 1e3, 2)
-              << " ms, stats " << formatDouble(stats_seconds * 1e3, 2)
-              << " ms (wall speedup " << formatDouble(wall_speedup, 2)
-              << "x), " << recorded.commits << " commits, "
-              << recorded.aborts << " aborts, " << mt.graph.size()
-              << " measured tasks on " << mt.laneCount << " lanes\n";
-    std::cout << cp.describe();
+    for (const ModeReport &mode : modes) {
+        const double wall_speedup = mode.statsSeconds > 0.0
+                                        ? seq_seconds / mode.statsSeconds
+                                        : 0.0;
+        std::cout << core::commitProtocolName(mode.protocol)
+                  << ": seq " << formatDouble(seq_seconds * 1e3, 2)
+                  << " ms, stats "
+                  << formatDouble(mode.statsSeconds * 1e3, 2)
+                  << " ms (wall speedup "
+                  << formatDouble(wall_speedup, 2) << "x), "
+                  << mode.recorded.commits << " commits, "
+                  << mode.recorded.aborts << " aborts, "
+                  << mode.mt.graph.size() << " measured tasks on "
+                  << mode.mt.laneCount << " lanes, sync+imbalance "
+                  << formatPercent(mode.syncPlusImbalance()) << "\n";
+        std::cout << mode.cp.describe();
+    }
+    if (modes.size() == 2) {
+        std::cout << "pipeline gain: sync+imbalance "
+                  << formatPercent(modes[0].syncPlusImbalance()) << " -> "
+                  << formatPercent(modes[1].syncPlusImbalance())
+                  << " of ideal speedup\n";
+    }
 
     std::ostringstream json;
     json << "{\n"
@@ -189,34 +333,59 @@ main(int argc, char **argv)
          << "  \"scale\": " << opt.scale << ",\n"
          << "  \"seed\": " << opt.seed << ",\n"
          << "  \"threads\": " << threads << ",\n"
+         << "  \"threads_exceed_cores\": "
+         << (oversubscribed ? "true" : "false") << ",\n"
          << "  \"repeats\": " << repeats << ",\n"
          << "  \"host\": " << bench::hostMetadataJson() << ",\n"
-         << "  \"identical_with_recording\": "
-         << (identical ? "true" : "false") << ",\n"
-         << "  \"commits\": " << recorded.commits << ",\n"
-         << "  \"aborts\": " << recorded.aborts << ",\n"
          << "  \"sequential_seconds\": " << seq_seconds << ",\n"
-         << "  \"stats_seconds\": " << stats_seconds << ",\n"
-         << "  \"wall_speedup\": " << wall_speedup << ",\n"
-         << "  \"measured_tasks\": " << mt.graph.size() << ",\n"
-         << "  \"measured_lanes\": " << mt.laneCount << ",\n"
-         << "  \"measured_makespan_us\": " << mt.makespanUs() << ",\n"
-         << "  \"pool_tasks\": " << mt.poolTasks << ",\n"
-         << "  \"pool_busy_seconds\": " << mt.poolBusySeconds << ",\n"
-         << "  \"critical_path\": {\"busy_us\": " << cp.busyCycles
-         << ", \"wait_us\": " << cp.waitCycles
-         << ", \"makespan_us\": " << cp.makespan
-         << ", \"overhead_share\": " << cp.overheadShare() << "},\n"
-         << "  \"busy_seconds_by_kind\": {";
-    for (std::size_t k = 0; k < trace::kNumTaskKinds; ++k) {
-        json << (k ? ", " : "") << "\""
-             << trace::taskKindName(static_cast<trace::TaskKind>(k))
-             << "\": " << sched.busyByKind[k] * 1e-6;
+         << "  \"modes\": {\n";
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+        const ModeReport &mode = modes[m];
+        const double wall_speedup = mode.statsSeconds > 0.0
+                                        ? seq_seconds / mode.statsSeconds
+                                        : 0.0;
+        json << "    \"" << core::commitProtocolName(mode.protocol)
+             << "\": {\n"
+             << "      \"identical_with_recording\": "
+             << (mode.identical ? "true" : "false") << ",\n"
+             << "      \"commits\": " << mode.recorded.commits << ",\n"
+             << "      \"aborts\": " << mode.recorded.aborts << ",\n"
+             << "      \"stats_seconds\": " << mode.statsSeconds << ",\n"
+             << "      \"wall_speedup\": " << wall_speedup << ",\n"
+             << "      \"measured_tasks\": " << mode.mt.graph.size()
+             << ",\n"
+             << "      \"measured_lanes\": " << mode.mt.laneCount
+             << ",\n"
+             << "      \"measured_makespan_us\": " << mode.mt.makespanUs()
+             << ",\n"
+             << "      \"pool_tasks\": " << mode.mt.poolTasks << ",\n"
+             << "      \"pool_busy_seconds\": " << mode.mt.poolBusySeconds
+             << ",\n"
+             << "      \"critical_path\": {\"busy_us\": "
+             << mode.cp.busyCycles << ", \"wait_us\": "
+             << mode.cp.waitCycles << ", \"makespan_us\": "
+             << mode.cp.makespan << ", \"overhead_share\": "
+             << mode.cp.overheadShare() << "},\n"
+             << "      \"busy_seconds_by_kind\": {";
+        for (std::size_t k = 0; k < trace::kNumTaskKinds; ++k) {
+            json << (k ? ", " : "") << "\""
+                 << trace::taskKindName(static_cast<trace::TaskKind>(k))
+                 << "\": " << mode.sched.busyByKind[k] * 1e-6;
+        }
+        json << "},\n"
+             << "      \"sync_plus_imbalance\": "
+             << mode.syncPlusImbalance() << ",\n"
+             << "      \"sync_plus_imbalance_samples\": [";
+        for (std::size_t s = 0; s < mode.syncImbalanceSamples.size();
+             ++s) {
+            json << (s ? ", " : "") << mode.syncImbalanceSamples[s];
+        }
+        json << "],\n";
+        ladderJson(json, "      ", "measured", mode.measured);
+        json << "\n    }" << (m + 1 < modes.size() ? "," : "") << "\n";
     }
-    json << "},\n";
-    ladderJson(json, "measured", measured);
-    json << ",\n";
-    ladderJson(json, "des_model", des);
+    json << "  },\n";
+    ladderJson(json, "  ", "des_model", des);
     json << "\n}\n";
 
     if (!out_path.empty()) {

@@ -119,6 +119,9 @@ main(int argc, char **argv)
         return std::make_pair(result, seconds);
     };
 
+    // The sweep tops out at 8 eval threads; flag time-shared hosts.
+    const bool oversubscribed = repro::bench::threadsExceedCores(8);
+
     // Warm-up (first-touch allocation, lazy pool creation).
     session(1);
 
@@ -148,6 +151,8 @@ main(int argc, char **argv)
          << "  \"budget\": " << budget << ",\n"
          << "  \"repeats\": " << repeats << ",\n"
          << "  \"host\": " << repro::bench::hostMetadataJson() << ",\n"
+         << "  \"threads_exceed_cores\": "
+         << (oversubscribed ? "true" : "false") << ",\n"
          << "  \"series\": [\n";
     for (std::size_t i = 0; i < samples.size(); ++i) {
         const Sample &s = samples[i];

@@ -5,6 +5,7 @@
 
 #include "trace/measured_trace.h"
 #include "util/log.h"
+#include "util/task_graph_executor.h"
 #include "util/thread_pool.h"
 
 namespace repro::core {
@@ -18,8 +19,10 @@ using trace::ThreadId;
 /** Sentinel for "no recorded task". */
 constexpr TaskId kNoTask = static_cast<TaskId>(-1);
 
-/** Main/commit-protocol thread id in the measured graph (the caller
- *  executes setup, comparisons, and abort re-executions itself). */
+/** Commit-protocol thread id in the measured graph.  The protocol
+ *  resolves boundaries in program order, so its tasks form one logical
+ *  thread — executed by the caller under the barrier protocol, by pool
+ *  workers under the pipelined one. */
 constexpr ThreadId kMainThread = 0;
 
 /** Per-chunk speculative products, filled by the parallel phase. */
@@ -30,6 +33,12 @@ struct ChunkProducts
     StateHandle snapshot;   //!< State at end-K (c < C-1).
     std::vector<double> outputs; //!< Dense, indexed from chunk begin.
 
+    /** Carried between the two body spans (the snapshot splits the
+     *  body; the RNG stream continues across the split). */
+    StateHandle working;
+    util::Rng bodyRng{0};
+    std::size_t snap = 0; //!< Snapshot input index (end-K clamped).
+
     // Recorded task ids of this chunk's speculative execution.
     TaskId altTask = kNoTask;      //!< AltProducer replay (c > 0).
     TaskId specCopyTask = kNoTask; //!< Spec-state clone for the check.
@@ -37,6 +46,13 @@ struct ChunkProducts
     TaskId snapshotTask = kNoTask; //!< Snapshot clone (c < C-1).
     TaskId bodyB = kNoTask;        //!< Body after the snapshot point.
     TaskId bodyLast = kNoTask;     //!< Last body task (final state).
+};
+
+/** Original-state replicas of one chunk boundary. */
+struct BoundaryProducts
+{
+    std::vector<StateHandle> replicas;  //!< R-1 regenerated states.
+    std::vector<TaskId> replicaTasks;   //!< Their OriginalStateGen ids.
 };
 
 /**
@@ -66,6 +82,14 @@ class Observer
     {
         if (rec_)
             rec_->end(id);
+    }
+
+    TaskId
+    measured(TaskKind kind, ThreadId thread, double duration_us,
+             std::int32_t chunk = trace::kNoChunk) const
+    {
+        return rec_ ? rec_->addMeasured(kind, thread, duration_us, chunk)
+                    : kNoTask;
     }
 
     void
@@ -134,10 +158,493 @@ runSpan(const IStateModel &model, State &state, std::size_t from,
     rng = ctx.rng();
 }
 
+/**
+ * One NativeRuntime::run invocation: the speculative chunk executions,
+ * boundary replicas, and in-order commit resolution, schedulable
+ * either as the historical two-phase barrier or as a dependency-driven
+ * pipeline (see native_runtime.h).  Both schedules run the *same*
+ * member steps below on the same RNG streams, so their results are
+ * bit-identical; only when and where each step executes differs.
+ */
+class RunImpl
+{
+  public:
+    RunImpl(const IStateModel &model, const StatsConfig &config,
+            std::uint64_t seed, trace::MeasuredTraceRecorder *recorder,
+            unsigned max_threads)
+        : model_(model), obs_(recorder), base_(seed),
+          n_(model.numInputs()), C_(config.numChunks),
+          K_(config.altWindowK), R_(config.numOriginalStates),
+          maxThreads_(max_threads), pool_(util::ThreadPool::global()),
+          poolProfile_(pool_, recorder)
+    {
+        setupTask_ = obs_.begin(TaskKind::Setup, kMainThread);
+        begin_.resize(C_);
+        end_.resize(C_);
+        for (unsigned c = 0; c < C_; ++c) {
+            begin_[c] = n_ * c / C_;
+            end_[c] = n_ * (c + 1) / C_;
+        }
+        result_.outputs.assign(n_, 0.0);
+        chunks_.resize(C_);
+        boundaries_.resize(C_ - 1);
+        for (BoundaryProducts &bp : boundaries_) {
+            bp.replicas.resize(R_ >= 1 ? R_ - 1 : 0);
+            bp.replicaTasks.assign(bp.replicas.size(), kNoTask);
+        }
+        obs_.end(setupTask_);
+    }
+
+    /**
+     * Two-phase schedule: all chunk bodies behind one parallelFor
+     * barrier, then each boundary regenerates its replicas and
+     * resolves on the calling thread.
+     */
+    NativeRuntime::Result
+    runBarrier()
+    {
+        double join_wait = 0.0;
+        pool_.parallelFor(
+            C_,
+            [&](std::size_t chunk) {
+                const unsigned c = static_cast<unsigned>(chunk);
+                speculateChunkToSnapshot(c);
+                if (c + 1 < C_)
+                    speculateChunkAfterSnapshot(c);
+            },
+            maxThreads_, 0, obs_.on() ? &join_wait : nullptr);
+        // The join is a real scheduling constraint of this protocol:
+        // no commit work starts before *every* chunk body finished.
+        // Record it as a Sync task whose cost is the caller's measured
+        // wait at the barrier, fed by every chunk body and gating the
+        // commit phase, so the measured graph mirrors the barrier, not
+        // the pipeline (the what-if replay would otherwise credit the
+        // barrier with overlap it never had, and the §V-B ladder's
+        // synchronization step would have nothing to remove).  The
+        // pipelined schedule has no counterpart: its terminal wait
+        // gates no work, and commit checks fire from their own
+        // dependencies.
+        if (obs_.on()) {
+            const TaskId sync = obs_.measured(TaskKind::Sync, kMainThread,
+                                              join_wait * 1e6);
+            for (const ChunkProducts &cp : chunks_)
+                obs_.dep(cp.bodyLast, sync);
+            joinSources_.assign(1, sync);
+            lastMainTask_ = sync;
+        }
+        for (unsigned c = 0; c + 1 < C_; ++c)
+            resolveBoundary(c);
+        return std::move(result_);
+    }
+
+    /**
+     * Dependency-driven schedule: chunk spans, eager replicas, and
+     * boundary resolutions become TaskGraphExecutor nodes that fire
+     * as soon as their declared predecessors finish.  Boundary c
+     * needs chunks c and c+1 plus its replicas — never the chunks
+     * beyond c+1, so commits overlap with downstream speculation.
+     */
+    NativeRuntime::Result
+    runPipelined()
+    {
+        pipelined_ = true;
+        using NodeId = util::TaskGraphExecutor::NodeId;
+        util::TaskGraphExecutor exec(pool_, maxThreads_);
+
+        // Chunk c splits at its snapshot so boundary-c replicas can
+        // launch from the snapshot while the chunk tail still runs.
+        std::vector<NodeId> head(C_), tail(C_);
+        for (unsigned c = 0; c < C_; ++c) {
+            head[c] =
+                exec.add([this, c] { speculateChunkToSnapshot(c); });
+            tail[c] = c + 1 < C_
+                          ? exec.add(
+                                [this, c] {
+                                    speculateChunkAfterSnapshot(c);
+                                },
+                                {head[c]})
+                          : head[c];
+        }
+
+        // Eager replicas: regenerate boundary c's original states from
+        // chunk c's *speculative* snapshot, concurrently with every
+        // chunk body still in flight.
+        std::vector<std::vector<NodeId>> replicaNodes(C_ - 1);
+        for (unsigned c = 0; c + 1 < C_; ++c) {
+            for (unsigned rep = 0; rep + 1 < R_; ++rep) {
+                replicaNodes[c].push_back(exec.add(
+                    [this, c, rep] { generateEagerReplica(c, rep); },
+                    {head[c]}));
+            }
+        }
+
+        // Boundary c fires once chunks c (via the boundary chain) and
+        // c+1 plus boundary-c replicas are done; the chain keeps
+        // commits in program order.
+        NodeId prev_boundary = 0;
+        for (unsigned c = 0; c + 1 < C_; ++c) {
+            std::vector<NodeId> deps;
+            deps.push_back(c == 0 ? tail[0] : prev_boundary);
+            deps.push_back(tail[c + 1]);
+            deps.insert(deps.end(), replicaNodes[c].begin(),
+                        replicaNodes[c].end());
+            prev_boundary =
+                exec.add([this, c] { resolveBoundary(c); }, deps);
+        }
+
+        exec.wait();
+        return std::move(result_);
+    }
+
+  private:
+    ThreadId
+    chunkThread(unsigned c) const
+    {
+        return 1 + c;
+    }
+
+    ThreadId
+    replicaThread(unsigned c, unsigned rep) const
+    {
+        return 1 + C_ + c * (R_ >= 1 ? R_ - 1 : 0) + rep;
+    }
+
+    /** Alt-producer replay, spec-state copy, body up to the snapshot,
+     *  and the snapshot clone of chunk @p c (the whole body when the
+     *  chunk is last and has no snapshot). */
+    void
+    speculateChunkToSnapshot(unsigned c)
+    {
+        const ThreadId th = chunkThread(c);
+        ChunkProducts &cp = chunks_[c];
+        StateHandle working;
+        if (c == 0) {
+            working = model_.initialState();
+        } else {
+            // Alternative producer (same streams as the engine:
+            // split(2000 + c)).
+            working = model_.coldState();
+            util::Rng alt_rng = base_.split(2000 + c);
+            cp.altTask = obs_.begin(TaskKind::AltProducer, th,
+                                    static_cast<std::int32_t>(c));
+            obs_.dep(setupTask_, cp.altTask);
+            runSpan(model_, *working, begin_[c] - K_, begin_[c],
+                    alt_rng, nullptr, TaskKind::AltProducer);
+            obs_.end(cp.altTask);
+            cp.specCopyTask = obs_.begin(TaskKind::StateCopy, th,
+                                         static_cast<std::int32_t>(c));
+            cp.specState = working->clone();
+            obs_.end(cp.specCopyTask);
+        }
+
+        const bool needs_snapshot = c + 1 < C_;
+        cp.snap = needs_snapshot ? std::max(begin_[c], end_[c] - K_)
+                                 : end_[c];
+        cp.bodyRng = base_.split(1000 + c);
+        cp.outputs.resize(end_[c] - begin_[c]);
+        cp.bodyA = obs_.begin(TaskKind::ChunkBody, th,
+                              static_cast<std::int32_t>(c));
+        if (c == 0)
+            obs_.dep(setupTask_, cp.bodyA);
+        runSpan(model_, *working, begin_[c], cp.snap, cp.bodyRng,
+                cp.outputs.data(), TaskKind::ChunkBody);
+        obs_.end(cp.bodyA);
+        cp.bodyLast = cp.bodyA;
+        if (needs_snapshot) {
+            cp.snapshotTask = obs_.begin(TaskKind::StateCopy, th,
+                                         static_cast<std::int32_t>(c));
+            cp.snapshot = working->clone();
+            obs_.end(cp.snapshotTask);
+            cp.working = std::move(working);
+        } else {
+            cp.finalState = std::move(working);
+        }
+    }
+
+    /** Body of chunk @p c after the snapshot point (continues the
+     *  chunk's RNG stream).  Requires speculateChunkToSnapshot(c). */
+    void
+    speculateChunkAfterSnapshot(unsigned c)
+    {
+        const ThreadId th = chunkThread(c);
+        ChunkProducts &cp = chunks_[c];
+        cp.bodyB = obs_.begin(TaskKind::ChunkBody, th,
+                              static_cast<std::int32_t>(c));
+        runSpan(model_, *cp.working, cp.snap, end_[c], cp.bodyRng,
+                cp.outputs.data() + (cp.snap - begin_[c]),
+                TaskKind::ChunkBody);
+        obs_.end(cp.bodyB);
+        cp.bodyLast = cp.bodyB;
+        cp.finalState = std::move(cp.working);
+    }
+
+    /** One eagerly launched replica of boundary @p c, regenerated
+     *  from chunk c's speculative snapshot (pipelined schedule). */
+    void
+    generateEagerReplica(unsigned c, unsigned rep)
+    {
+        const ChunkProducts &cp = chunks_[c];
+        regenerateReplica(c, rep, *cp.snapshot, cp.snapshotTask,
+                          cp.snap);
+    }
+
+    /** Clones @p source and replays the boundary inputs of chunk
+     *  @p c on it (streams: split(3000 + c*128 + rep), exactly the
+     *  engine's), storing the replica for the commit check.
+     *  @p serialize_after: extra recorded predecessors mirroring
+     *  schedule constraints beyond the data dependency. */
+    void
+    regenerateReplica(unsigned c, unsigned rep, const State &source,
+                      TaskId source_task, std::size_t snap,
+                      const std::vector<TaskId> &serialize_after = {})
+    {
+        const ThreadId rth = replicaThread(c, rep);
+        const TaskId rep_copy = obs_.begin(
+            TaskKind::StateCopy, rth, static_cast<std::int32_t>(c));
+        obs_.dep(source_task, rep_copy);
+        for (const TaskId before : serialize_after)
+            obs_.dep(before, rep_copy);
+        StateHandle replica = source.clone();
+        obs_.end(rep_copy);
+        const TaskId rep_task =
+            obs_.begin(TaskKind::OriginalStateGen, rth,
+                       static_cast<std::int32_t>(c));
+        util::Rng rng = base_.split(3000 + c * 128 + rep);
+        runSpan(model_, *replica, snap, end_[c], rng, nullptr,
+                TaskKind::OriginalStateGen);
+        obs_.end(rep_task);
+        BoundaryProducts &bp = boundaries_[c];
+        bp.replicaTasks[rep] = rep_task;
+        bp.replicas[rep] = std::move(replica);
+    }
+
+    /** Regenerates every boundary-@p c replica from the *committed*
+     *  snapshot, in parallel (barrier schedule, and the pipelined
+     *  abort path where the eager replicas were invalidated). */
+    void
+    regenerateReplicasFromCommitted(unsigned c)
+    {
+        if (R_ <= 1)
+            return;
+        // Under the barrier schedule these replicas launch only after
+        // the phase-1 join (boundary 0) or after the previous
+        // boundary resolved — record that serialization so the
+        // measured graph stays faithful to the schedule.  Under the
+        // pipelined schedule the committed-snapshot dependency already
+        // is the true constraint.
+        std::vector<TaskId> serialize_after;
+        if (!pipelined_ && lastMainTask_ != kNoTask)
+            serialize_after.push_back(lastMainTask_);
+        const std::size_t snap = std::max(begin_[c], end_[c] - K_);
+        pool_.parallelFor(
+            R_ - 1,
+            [&](std::size_t rep) {
+                regenerateReplica(c, static_cast<unsigned>(rep),
+                                  *committedSnapshot_,
+                                  committedSnapshotTask_, snap,
+                                  serialize_after);
+            },
+            maxThreads_);
+    }
+
+    /**
+     * Resolves commit boundary @p c in program order: ensures valid
+     * replicas, compares chunk c+1's speculative state against each
+     * original state until a match (paper Fig. 6), and commits or
+     * re-executes.  Under the barrier schedule this runs on the
+     * caller; under the pipelined one, on a pool worker whose node
+     * fired when chunks c, c+1, and the boundary replicas finished.
+     */
+    void
+    resolveBoundary(unsigned c)
+    {
+        if (c == 0) {
+            // Chunk 0 runs from the program's initial state — it is
+            // never speculative, so its products commit as they are.
+            committedFinal_ = chunks_[0].finalState.get();
+            committedFinalTask_ = chunks_[0].bodyLast;
+            committedSnapshot_ = chunks_[0].snapshot.get();
+            committedSnapshotTask_ = chunks_[0].snapshotTask;
+            committedSpeculative_ = true;
+            std::copy(chunks_[0].outputs.begin(),
+                      chunks_[0].outputs.end(),
+                      result_.outputs.begin() + begin_[0]);
+        }
+
+        BoundaryProducts &bp = boundaries_[c];
+        if (!(pipelined_ && committedSpeculative_)) {
+            // Barrier schedule: replicas are always generated here,
+            // from the committed snapshot.  Pipelined schedule: only
+            // when chunk c was re-executed after an abort — its eager
+            // replicas grew from a snapshot that never became real
+            // state, so they are wasted speculation (retagged like the
+            // engine retags aborted bodies) and regenerated from the
+            // re-executed snapshot with the same RNG streams.
+            for (const TaskId stale : bp.replicaTasks)
+                obs_.retag(stale, TaskKind::MispecReExec);
+            regenerateReplicasFromCommitted(c);
+        }
+
+        // Commit check of chunk c+1: compare its speculative state
+        // against each original state until a match (paper Fig. 6).
+        ChunkProducts &nxt = chunks_[c + 1];
+        const auto compare = [&](const State &original, bool first) {
+            const TaskId cmp =
+                obs_.begin(TaskKind::StateCompare, kMainThread,
+                           static_cast<std::int32_t>(c));
+            if (first) {
+                obs_.dep(committedFinalTask_, cmp);
+                obs_.dep(nxt.specCopyTask, cmp);
+                for (const TaskId rt : bp.replicaTasks)
+                    obs_.dep(rt, cmp);
+                // Barrier schedule, first boundary: the commit phase
+                // starts only after the phase-1 join — joinSources_
+                // holds its Sync task (empty under the pipeline).
+                for (const TaskId js : joinSources_)
+                    obs_.dep(js, cmp);
+            }
+            const bool matched = model_.matches(*nxt.specState, original);
+            obs_.end(cmp);
+            lastMainTask_ = cmp;
+            return matched;
+        };
+        bool matched = compare(*committedFinal_, true);
+        for (unsigned rep = 0; !matched && rep + 1 < R_; ++rep)
+            matched = compare(*bp.replicas[rep], false);
+
+        if (matched) {
+            ++result_.commits;
+            std::copy(nxt.outputs.begin(), nxt.outputs.end(),
+                      result_.outputs.begin() + begin_[c + 1]);
+            committedOwned_.reset();
+            committedSnapshotOwned_.reset();
+            committedFinal_ = nxt.finalState.get();
+            committedFinalTask_ = nxt.bodyLast;
+            committedSnapshot_ = nxt.snapshot.get();
+            committedSnapshotTask_ = nxt.snapshotTask;
+            committedSpeculative_ = true;
+        } else {
+            reexecuteChunk(c);
+        }
+
+        // The boundary is resolved; its replicas are dead weight now
+        // (eager replicas of *future* boundaries stay alive — that
+        // memory is the price of the overlap).  The join edges were
+        // consumed by boundary 0; later boundaries serialize on
+        // lastMainTask_ instead.
+        bp.replicas.clear();
+        bp.replicaTasks.clear();
+        joinSources_.clear();
+    }
+
+    /** Abort at boundary @p c: re-execute chunk c+1 from the
+     *  committed final state (streams: split(5000 + c + 1)).  The
+     *  wasted speculative body work is re-attributed to
+     *  mispeculation, exactly as the engine retags it. */
+    void
+    reexecuteChunk(unsigned c)
+    {
+        ChunkProducts &nxt = chunks_[c + 1];
+        ++result_.aborts;
+        obs_.retag(nxt.bodyA, TaskKind::MispecReExec);
+        obs_.retag(nxt.bodyB, TaskKind::MispecReExec);
+        const TaskId redo_copy =
+            obs_.begin(TaskKind::StateCopy, kMainThread,
+                       static_cast<std::int32_t>(c + 1));
+        obs_.dep(committedFinalTask_, redo_copy);
+        StateHandle redo = committedFinal_->clone();
+        obs_.end(redo_copy);
+        util::Rng redo_rng = base_.split(5000 + c + 1);
+        const bool needs_snapshot = c + 2 < C_;
+        const std::size_t redo_snap =
+            needs_snapshot ? std::max(begin_[c + 1], end_[c + 1] - K_)
+                           : end_[c + 1];
+        const TaskId redo_a =
+            obs_.begin(TaskKind::MispecReExec, kMainThread,
+                       static_cast<std::int32_t>(c + 1));
+        runSpan(model_, *redo, begin_[c + 1], redo_snap, redo_rng,
+                result_.outputs.data() + begin_[c + 1],
+                TaskKind::MispecReExec);
+        obs_.end(redo_a);
+        committedFinalTask_ = redo_a;
+        if (needs_snapshot) {
+            const TaskId redo_snap_copy =
+                obs_.begin(TaskKind::StateCopy, kMainThread,
+                           static_cast<std::int32_t>(c + 1));
+            committedSnapshotOwned_ = redo->clone();
+            obs_.end(redo_snap_copy);
+            committedSnapshot_ = committedSnapshotOwned_.get();
+            committedSnapshotTask_ = redo_snap_copy;
+            const TaskId redo_b =
+                obs_.begin(TaskKind::MispecReExec, kMainThread,
+                           static_cast<std::int32_t>(c + 1));
+            runSpan(model_, *redo, redo_snap, end_[c + 1], redo_rng,
+                    result_.outputs.data() + redo_snap,
+                    TaskKind::MispecReExec);
+            obs_.end(redo_b);
+            committedFinalTask_ = redo_b;
+        } else {
+            committedSnapshotOwned_.reset();
+            committedSnapshot_ = nullptr;
+            committedSnapshotTask_ = kNoTask;
+        }
+        committedOwned_ = std::move(redo);
+        committedFinal_ = committedOwned_.get();
+        committedSpeculative_ = false;
+        lastMainTask_ = committedFinalTask_;
+    }
+
+    const IStateModel &model_;
+    const Observer obs_;
+    const util::Rng base_;
+    const std::size_t n_;
+    const unsigned C_, K_, R_;
+    const unsigned maxThreads_;
+    util::ThreadPool &pool_;
+    const ScopedPoolProfile poolProfile_;
+
+    TaskId setupTask_ = kNoTask;
+    std::vector<std::size_t> begin_, end_;
+    std::vector<ChunkProducts> chunks_;
+    std::vector<BoundaryProducts> boundaries_;
+    NativeRuntime::Result result_;
+    bool pipelined_ = false;
+
+    // Committed products of the most recently resolved chunk.  Only
+    // the boundary-resolution chain touches these; under the pipelined
+    // schedule the TaskGraphExecutor's dependency handoff orders that
+    // chain across workers.
+    const State *committedFinal_ = nullptr;
+    StateHandle committedOwned_;
+    const State *committedSnapshot_ = nullptr;
+    StateHandle committedSnapshotOwned_;
+    TaskId committedFinalTask_ = kNoTask;
+    TaskId committedSnapshotTask_ = kNoTask;
+    bool committedSpeculative_ = true;
+
+    // Barrier-schedule serialization, recorded so the measured graph
+    // mirrors that schedule: the phase-1 join (all chunk bodies →
+    // first commit task) and the previous boundary's last
+    // commit-protocol task (→ this boundary's replica launches).
+    // Both stay empty/kNoTask under the pipelined schedule, whose
+    // explicit data dependencies are its true constraints.
+    std::vector<TaskId> joinSources_;
+    TaskId lastMainTask_ = kNoTask;
+};
+
 } // namespace
 
-NativeRuntime::NativeRuntime(unsigned max_threads)
-    : maxThreads(util::ThreadPool::defaultThreadCount(max_threads))
+const char *
+commitProtocolName(CommitProtocol protocol)
+{
+    return protocol == CommitProtocol::Pipelined ? "pipelined"
+                                                 : "barrier";
+}
+
+NativeRuntime::NativeRuntime(unsigned max_threads,
+                             CommitProtocol protocol)
+    : maxThreads(util::ThreadPool::defaultThreadCount(max_threads)),
+      protocol_(protocol)
 {
 }
 
@@ -171,228 +678,16 @@ NativeRuntime::run(const IStateModel &model, const StatsConfig &config,
     if (!config.useStatsTlp)
         util::fatal("NativeRuntime::run requires useStatsTlp");
 
-    const auto start = std::chrono::steady_clock::now();
-    const std::size_t n = model.numInputs();
-    const unsigned C = config.numChunks;
-    const unsigned K = config.altWindowK;
-    const unsigned R = config.numOriginalStates;
-    util::Rng base(seed);
-
-    if (C == 1) {
+    if (config.numChunks == 1) {
         // Degenerate single chunk: the sequential program.
         return runSequential(model, seed, recorder);
     }
 
-    const Observer obs(recorder);
-    const auto chunk_thread = [](unsigned c) -> ThreadId { return 1 + c; };
-    const auto replica_thread = [&](unsigned c, unsigned rep) -> ThreadId {
-        return 1 + C + c * (R >= 1 ? R - 1 : 0) + rep;
-    };
-
-    const TaskId setup = obs.begin(TaskKind::Setup, kMainThread);
-
-    std::vector<std::size_t> begin(C), end(C);
-    for (unsigned c = 0; c < C; ++c) {
-        begin[c] = n * c / C;
-        end[c] = n * (c + 1) / C;
-    }
-
-    Result result;
-    result.outputs.assign(n, 0.0);
-    std::vector<ChunkProducts> chunks(C);
-    obs.end(setup);
-
-    // ----- Parallel phase: speculative execution of every chunk -------
-    // Chunk workers run on the shared process pool (capped at
-    // maxThreads concurrent executors) instead of spawning a thread
-    // batch per round; each iteration writes only chunks[c], so the
-    // dynamic iteration-to-thread mapping cannot change the result.
-    util::ThreadPool &pool = util::ThreadPool::global();
-    const ScopedPoolProfile poolProfile(pool, recorder);
-    pool.parallelFor(
-        C,
-        [&](std::size_t chunk) {
-            const unsigned c = static_cast<unsigned>(chunk);
-            const ThreadId th = chunk_thread(c);
-            ChunkProducts &cp = chunks[c];
-            StateHandle working;
-            if (c == 0) {
-                working = model.initialState();
-            } else {
-                // Alternative producer (same streams as the
-                // engine: split(2000 + c)).
-                working = model.coldState();
-                util::Rng alt_rng = base.split(2000 + c);
-                cp.altTask = obs.begin(TaskKind::AltProducer, th,
-                                       static_cast<std::int32_t>(c));
-                obs.dep(setup, cp.altTask);
-                runSpan(model, *working, begin[c] - K, begin[c],
-                        alt_rng, nullptr, TaskKind::AltProducer);
-                obs.end(cp.altTask);
-                cp.specCopyTask =
-                    obs.begin(TaskKind::StateCopy, th,
-                              static_cast<std::int32_t>(c));
-                cp.specState = working->clone();
-                obs.end(cp.specCopyTask);
-            }
-
-            const bool needs_snapshot = c + 1 < C;
-            const std::size_t snap =
-                needs_snapshot ? std::max(begin[c], end[c] - K)
-                               : end[c];
-            util::Rng body_rng = base.split(1000 + c);
-            cp.outputs.resize(end[c] - begin[c]);
-            cp.bodyA = obs.begin(TaskKind::ChunkBody, th,
-                                 static_cast<std::int32_t>(c));
-            if (c == 0)
-                obs.dep(setup, cp.bodyA);
-            runSpan(model, *working, begin[c], snap, body_rng,
-                    cp.outputs.data(), TaskKind::ChunkBody);
-            obs.end(cp.bodyA);
-            cp.bodyLast = cp.bodyA;
-            if (needs_snapshot) {
-                cp.snapshotTask =
-                    obs.begin(TaskKind::StateCopy, th,
-                              static_cast<std::int32_t>(c));
-                cp.snapshot = working->clone();
-                obs.end(cp.snapshotTask);
-                cp.bodyB = obs.begin(TaskKind::ChunkBody, th,
-                                     static_cast<std::int32_t>(c));
-                runSpan(model, *working, snap, end[c], body_rng,
-                        cp.outputs.data() + (snap - begin[c]),
-                        TaskKind::ChunkBody);
-                obs.end(cp.bodyB);
-                cp.bodyLast = cp.bodyB;
-            }
-            cp.finalState = std::move(working);
-        },
-        maxThreads);
-
-    // ----- Commit protocol: in program order ---------------------------
-    // committed products of chunk c (speculative or re-executed).
-    const State *committed_final = chunks[0].finalState.get();
-    StateHandle committed_owned;
-    StateHandle committed_snapshot =
-        chunks[0].snapshot ? chunks[0].snapshot->clone() : nullptr;
-    TaskId committed_final_task = chunks[0].bodyLast;
-    TaskId committed_snapshot_task = chunks[0].snapshotTask;
-    std::copy(chunks[0].outputs.begin(), chunks[0].outputs.end(),
-              result.outputs.begin() + begin[0]);
-
-    for (unsigned c = 0; c + 1 < C; ++c) {
-        // Regenerate the extra original states from the committed
-        // snapshot, in parallel (streams: split(3000 + c*128 + rep)).
-        const std::size_t snap = std::max(begin[c], end[c] - K);
-        std::vector<StateHandle> replicas(R >= 1 ? R - 1 : 0);
-        std::vector<TaskId> replica_tasks(replicas.size(), kNoTask);
-        if (R > 1) {
-            pool.parallelFor(
-                R - 1,
-                [&](std::size_t rep) {
-                    const ThreadId rth =
-                        replica_thread(c, static_cast<unsigned>(rep));
-                    const TaskId rep_copy =
-                        obs.begin(TaskKind::StateCopy, rth,
-                                  static_cast<std::int32_t>(c));
-                    obs.dep(committed_snapshot_task, rep_copy);
-                    StateHandle replica = committed_snapshot->clone();
-                    obs.end(rep_copy);
-                    const TaskId rep_task =
-                        obs.begin(TaskKind::OriginalStateGen, rth,
-                                  static_cast<std::int32_t>(c));
-                    util::Rng rng =
-                        base.split(3000 + c * 128 + rep);
-                    runSpan(model, *replica, snap, end[c], rng, nullptr,
-                            TaskKind::OriginalStateGen);
-                    obs.end(rep_task);
-                    replica_tasks[rep] = rep_task;
-                    replicas[rep] = std::move(replica);
-                },
-                maxThreads);
-        }
-
-        // Commit check of chunk c+1: compare its speculative state
-        // against each original state until a match (paper Fig. 6).
-        ChunkProducts &nxt = chunks[c + 1];
-        const auto compare = [&](const State &original, bool first) {
-            const TaskId cmp =
-                obs.begin(TaskKind::StateCompare, kMainThread,
-                          static_cast<std::int32_t>(c));
-            if (first) {
-                obs.dep(committed_final_task, cmp);
-                obs.dep(nxt.specCopyTask, cmp);
-                for (TaskId rt : replica_tasks)
-                    obs.dep(rt, cmp);
-            }
-            const bool matched = model.matches(*nxt.specState, original);
-            obs.end(cmp);
-            return matched;
-        };
-        bool matched = compare(*committed_final, true);
-        for (unsigned rep = 0; !matched && rep + 1 < R; ++rep)
-            matched = compare(*replicas[rep], false);
-
-        if (matched) {
-            ++result.commits;
-            std::copy(nxt.outputs.begin(), nxt.outputs.end(),
-                      result.outputs.begin() + begin[c + 1]);
-            committed_owned.reset();
-            committed_final = nxt.finalState.get();
-            committed_snapshot =
-                nxt.snapshot ? nxt.snapshot->clone() : nullptr;
-            committed_final_task = nxt.bodyLast;
-            committed_snapshot_task = nxt.snapshotTask;
-        } else {
-            // Abort: re-execute chunk c+1 from the committed final
-            // state (streams: split(5000 + c + 1)).  The wasted
-            // speculative body work is re-attributed to
-            // mispeculation, exactly as the engine retags it.
-            ++result.aborts;
-            obs.retag(nxt.bodyA, TaskKind::MispecReExec);
-            obs.retag(nxt.bodyB, TaskKind::MispecReExec);
-            const TaskId redo_copy =
-                obs.begin(TaskKind::StateCopy, kMainThread,
-                          static_cast<std::int32_t>(c + 1));
-            obs.dep(committed_final_task, redo_copy);
-            StateHandle redo = committed_final->clone();
-            obs.end(redo_copy);
-            util::Rng redo_rng = base.split(5000 + c + 1);
-            const bool needs_snapshot = c + 2 < C;
-            const std::size_t redo_snap =
-                needs_snapshot ? std::max(begin[c + 1], end[c + 1] - K)
-                               : end[c + 1];
-            const TaskId redo_a =
-                obs.begin(TaskKind::MispecReExec, kMainThread,
-                          static_cast<std::int32_t>(c + 1));
-            runSpan(model, *redo, begin[c + 1], redo_snap, redo_rng,
-                    result.outputs.data() + begin[c + 1],
-                    TaskKind::MispecReExec);
-            obs.end(redo_a);
-            committed_final_task = redo_a;
-            if (needs_snapshot) {
-                const TaskId redo_snap_copy =
-                    obs.begin(TaskKind::StateCopy, kMainThread,
-                              static_cast<std::int32_t>(c + 1));
-                committed_snapshot = redo->clone();
-                obs.end(redo_snap_copy);
-                committed_snapshot_task = redo_snap_copy;
-                const TaskId redo_b =
-                    obs.begin(TaskKind::MispecReExec, kMainThread,
-                              static_cast<std::int32_t>(c + 1));
-                runSpan(model, *redo, redo_snap, end[c + 1], redo_rng,
-                        result.outputs.data() + redo_snap,
-                        TaskKind::MispecReExec);
-                obs.end(redo_b);
-                committed_final_task = redo_b;
-            } else {
-                committed_snapshot.reset();
-                committed_snapshot_task = kNoTask;
-            }
-            committed_owned = std::move(redo);
-            committed_final = committed_owned.get();
-        }
-    }
-
+    const auto start = std::chrono::steady_clock::now();
+    RunImpl impl(model, config, seed, recorder, maxThreads);
+    Result result = protocol_ == CommitProtocol::Pipelined
+                        ? impl.runPipelined()
+                        : impl.runBarrier();
     result.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)

@@ -1,0 +1,118 @@
+#include "util/task_graph_executor.h"
+
+#include <limits>
+#include <utility>
+
+#include "util/log.h"
+
+namespace repro::util {
+
+TaskGraphExecutor::TaskGraphExecutor(ThreadPool &pool,
+                                     unsigned max_concurrency)
+    : pool_(pool), cap_(max_concurrency)
+{
+}
+
+TaskGraphExecutor::~TaskGraphExecutor()
+{
+    // Nodes capture `this`; they must all have drained before the
+    // members go away.  Errors were either observed by an earlier
+    // wait() or are intentionally dropped here.
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [&] { return unfinished_ == 0; });
+}
+
+TaskGraphExecutor::NodeId
+TaskGraphExecutor::add(std::function<void()> fn,
+                       const std::vector<NodeId> &deps)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    const NodeId id = nodes_.size();
+    nodes_.emplace_back();
+    Node &node = nodes_.back();
+    node.fn = std::move(fn);
+    ++unfinished_;
+    for (const NodeId dep : deps) {
+        REPRO_ASSERT(dep < id, "node depends on a not-yet-added node");
+        if (!nodes_[dep].finished) {
+            nodes_[dep].successors.push_back(id);
+            ++node.pending;
+        }
+    }
+    if (node.pending == 0)
+        ready_.push_back(id);
+    dispatchLocked(lock);
+    return id;
+}
+
+void
+TaskGraphExecutor::dispatchLocked(std::unique_lock<std::mutex> &lock)
+{
+    const std::size_t cap =
+        cap_ ? cap_ : std::numeric_limits<std::size_t>::max();
+    while (running_ < cap && !ready_.empty()) {
+        const NodeId id = ready_.front();
+        ready_.pop_front();
+        ++running_;
+        // detach() may run the node inline on a stopped pool; the node
+        // re-locks, so the lock must be dropped around the handoff.
+        lock.unlock();
+        pool_.detach([this, id] { runNode(id); });
+        lock.lock();
+    }
+}
+
+void
+TaskGraphExecutor::runNode(NodeId id)
+{
+    std::function<void()> fn;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        // Fail fast: once any node threw, later bodies never start.
+        if (!error_)
+            fn = std::move(nodes_[id].fn);
+    }
+    std::exception_ptr err;
+    if (fn) {
+        try {
+            fn();
+        } catch (...) {
+            err = std::current_exception();
+        }
+    }
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (err && !error_)
+        error_ = err;
+    Node &node = nodes_[id];
+    node.finished = true;
+    node.fn = nullptr;
+    for (const NodeId succ : node.successors) {
+        if (--nodes_[succ].pending == 0)
+            ready_.push_back(succ);
+    }
+    node.successors.clear();
+    --running_;
+    --unfinished_;
+    if (unfinished_ == 0)
+        idle_.notify_all();
+    dispatchLocked(lock);
+}
+
+void
+TaskGraphExecutor::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [&] { return unfinished_ == 0; });
+    if (error_)
+        std::rethrow_exception(error_);
+}
+
+std::size_t
+TaskGraphExecutor::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return nodes_.size();
+}
+
+} // namespace repro::util

@@ -20,41 +20,78 @@ struct ForState
 {
     std::function<void(std::size_t)> body;
     std::size_t n = 0;
+    std::size_t grain = 1; //!< Iterations claimed per counter bump.
     std::atomic<std::size_t> next{0};
+
+    /** Iterations accounted for (run, or skipped by an error mid-
+     *  grain).  Atomic so the hot path never takes the mutex. */
+    std::atomic<std::size_t> completed{0};
+    /** Iterations the loop waits for: n, shrunk on the first failure
+     *  to the number claimed up to that point (fail fast). */
+    std::atomic<std::size_t> target{0};
+
+    /** Set on the first body failure; in-flight grains poll it so
+     *  fail-fast stays iteration-granular, not grain-granular. */
+    std::atomic<bool> failed{false};
 
     std::mutex mutex;
     std::condition_variable done;
-    std::size_t completed = 0; //!< Claimed iterations finished; guarded.
-    /** Iterations the loop waits for: n, shrunk on the first failure
-     *  to the number claimed up to that point (fail fast).  Guarded by
-     *  mutex. */
-    std::size_t target = 0;
-    std::exception_ptr error;  //!< First failure; guarded by mutex.
+    std::exception_ptr error; //!< First failure; guarded by mutex.
 };
 
-/** Claims and runs iterations until none are left (or a body failed). */
+/**
+ * Claims and runs grains of iterations until none are left (or a body
+ * failed).  Completion is counted with atomics; the mutex is taken
+ * only to record an error or to publish the final wakeup, so cheap
+ * bodies do not serialize on a lock per iteration.
+ */
 void
 drain(const std::shared_ptr<ForState> &st)
 {
-    for (std::size_t i = st->next.fetch_add(1); i < st->n;
-         i = st->next.fetch_add(1)) {
+    const std::size_t n = st->n;
+    const std::size_t grain = st->grain;
+    for (std::size_t begin = st->next.fetch_add(grain); begin < n;
+         begin = st->next.fetch_add(grain)) {
+        const std::size_t end = std::min(begin + grain, n);
         std::exception_ptr err;
         try {
-            st->body(i);
+            // A grain claimed before the failure was published still
+            // counts fully toward `target`, so it is accounted below
+            // whether it runs or bails — but it stops executing
+            // *bodies* at the first iteration that observes `failed`.
+            for (std::size_t i = begin;
+                 i < end && !st->failed.load(std::memory_order_relaxed);
+                 ++i)
+                st->body(i);
         } catch (...) {
             err = std::current_exception();
         }
-        std::lock_guard<std::mutex> lock(st->mutex);
-        if (err && !st->error) {
-            st->error = err;
-            // Stop further claims.  exchange() also tells us how many
-            // iterations were ever claimed (clamped: racing claims may
-            // overshoot n) — exactly the ones the caller must wait for.
-            const std::size_t claimed = st->next.exchange(st->n);
-            st->target = std::min(claimed, st->n);
+        if (err) {
+            st->failed.store(true, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(st->mutex);
+            if (!st->error) {
+                st->error = err;
+                // Stop further claims.  exchange() also tells us how
+                // many iterations were ever claimed (grains tile
+                // [0, next), clamped at n) — exactly the ones the
+                // caller must wait for.  The whole erroring grain
+                // counts as claimed; the iterations it skipped are
+                // still accounted below.
+                const std::size_t claimed = st->next.exchange(n + grain);
+                st->target.store(std::min(claimed, n));
+            }
         }
-        if (++st->completed >= st->target)
+        // The last accounted grain publishes the wakeup under the
+        // mutex (so the notify cannot slip between the waiter's
+        // predicate check and its sleep).  fetch_add is seq_cst, so
+        // whichever executor pushes `completed` to the target observes
+        // any earlier target shrink.
+        const std::size_t done_count =
+            st->completed.fetch_add(end - begin) + (end - begin);
+        if (done_count >= st->target.load()) {
+            std::lock_guard<std::mutex> lock(st->mutex);
             st->done.notify_all();
+        }
     }
 }
 
@@ -145,8 +182,11 @@ ThreadPool::workerLoop(unsigned worker)
 void
 ThreadPool::parallelFor(std::size_t n,
                         const std::function<void(std::size_t)> &body,
-                        unsigned max_concurrency)
+                        unsigned max_concurrency, std::size_t grain,
+                        double *caller_wait_seconds)
 {
+    if (caller_wait_seconds)
+        *caller_wait_seconds = 0.0;
     if (n == 0)
         return;
     if (n == 1) {
@@ -164,7 +204,10 @@ ThreadPool::parallelFor(std::size_t n,
     auto st = std::make_shared<ForState>();
     st->body = body;
     st->n = n;
-    st->target = n;
+    // Auto grain: ~8 claims per executor, so dynamic balancing still
+    // works while the claim counter is bumped n/grain times, not n.
+    st->grain = grain ? grain : std::max<std::size_t>(1, n / ((helpers + 1) * 8));
+    st->target.store(n);
     for (std::size_t h = 0; h < helpers; ++h) {
         // A stopping pool rejects the helper; the caller drains alone.
         if (!enqueue([st] { drain(st); }))
@@ -173,8 +216,19 @@ ThreadPool::parallelFor(std::size_t n,
 
     drain(st); // The caller is always one of the executors.
 
+    // Anything from here to the predicate passing is join wait: the
+    // caller has no iterations left and is blocked on helpers.
+    const Clock::time_point join_start =
+        caller_wait_seconds ? Clock::now() : Clock::time_point{};
     std::unique_lock<std::mutex> lock(st->mutex);
-    st->done.wait(lock, [&] { return st->completed >= st->target; });
+    st->done.wait(lock, [&] {
+        return st->completed.load() >= st->target.load();
+    });
+    if (caller_wait_seconds) {
+        *caller_wait_seconds =
+            std::chrono::duration<double>(Clock::now() - join_start)
+                .count();
+    }
     if (st->error)
         std::rethrow_exception(st->error);
 }

@@ -106,6 +106,20 @@ class ThreadPool
     }
 
     /**
+     * Enqueues @p fn to run on some worker with no completion handle
+     * (fire-and-forget; the caller synchronizes through its own state,
+     * as util::TaskGraphExecutor does).  @p fn must not throw.  On a
+     * stopped (or stopping) pool the task runs inline on the calling
+     * thread before detach returns.
+     */
+    void
+    detach(std::function<void()> fn)
+    {
+        if (!enqueue(fn))
+            fn();
+    }
+
+    /**
      * Enqueues @p fn and returns a future of its result.  The task may
      * run on any worker; exceptions propagate through the future.  On
      * a stopped (or stopping) pool the task runs inline on the
@@ -131,18 +145,31 @@ class ThreadPool
      * helper workers; 0 = caller plus every worker).  Blocks until the
      * loop finished.
      *
-     * Exceptions fail fast: once a body throws, no further iterations
-     * are claimed; iterations already in flight on other executors
-     * still complete, and the first exception thrown is rethrown here.
+     * Exceptions fail fast: once a body throws, no further grains are
+     * claimed; grains already in flight on other executors still
+     * complete, and the first exception thrown is rethrown here.
      *
-     * Iterations are claimed dynamically from a shared counter, so the
-     * mapping of iteration to thread is not deterministic — bodies must
-     * be independent (they are in both call sites: per-chunk and
-     * per-replica work write disjoint slots).
+     * Iterations are claimed dynamically from a shared counter in
+     * grains of @p grain consecutive indices (0 picks an automatic
+     * grain: ~8 grains per executor, so cheap bodies — the tuner's
+     * per-design-point probes, the executor's ready checks — do not
+     * serialize on the claim counter, while small loops keep grain 1
+     * for balance).  The iteration-to-thread mapping is therefore not
+     * deterministic — bodies must be independent (they are in all call
+     * sites: per-chunk and per-replica work write disjoint slots).
+     *
+     * When @p caller_wait_seconds is non-null it receives the time the
+     * *calling* thread spent blocked at the join — from the moment it
+     * ran out of iterations to claim until the last in-flight grain on
+     * a helper finished (0 when the caller finished last).  This is
+     * the measured cost of the fork-join barrier itself, which the
+     * native runtime records as a Sync task so the §V-B overhead
+     * ladder can attribute it (trace/measured_trace.h).
      */
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &body,
-                     unsigned max_concurrency = 0);
+                     unsigned max_concurrency = 0, std::size_t grain = 0,
+                     double *caller_wait_seconds = nullptr);
 
     /**
      * Installs @p profiler (nullptr uninstalls).  The pool keeps a

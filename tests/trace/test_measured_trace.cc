@@ -81,6 +81,40 @@ TEST(MeasuredTrace, RetagChangesKind)
     EXPECT_EQ(mt.graph.task(t).chunk, 2);
 }
 
+TEST(MeasuredTrace, AddMeasuredBackdatesExternallyTimedTasks)
+{
+    // addMeasured records an already-elapsed interval ending now (the
+    // native runtime's barrier join wait): the task's work is exactly
+    // the supplied duration, its span is back-dated, and dependencies
+    // from earlier tasks into it are legal.
+    MeasuredTraceRecorder rec;
+    const TaskId body = rec.begin(TaskKind::ChunkBody, 1, 0);
+    spin(std::chrono::microseconds(300));
+    rec.end(body);
+    const TaskId sync =
+        rec.addMeasured(TaskKind::Sync, 0, /*duration_us=*/250.0);
+    rec.addDep(body, sync);
+    const TaskId after = rec.begin(TaskKind::StateCompare, 0);
+    rec.end(after);
+    rec.addDep(sync, after);
+
+    const MeasuredTrace mt = rec.finish();
+    ASSERT_EQ(mt.graph.size(), 3u);
+    EXPECT_EQ(mt.graph.task(sync).kind, TaskKind::Sync);
+    EXPECT_DOUBLE_EQ(mt.graph.task(sync).work, 250.0);
+    EXPECT_DOUBLE_EQ(mt.finishUs[sync] - mt.startUs[sync], 250.0);
+    EXPECT_GE(mt.startUs[sync], 0.0);
+    // It ended "now", i.e. not before the body that preceded it ended.
+    EXPECT_GE(mt.finishUs[sync], mt.finishUs[body]);
+
+    // A duration longer than the recording so far clamps at origin
+    // instead of going negative.
+    MeasuredTraceRecorder rec2;
+    const TaskId huge = rec2.addMeasured(TaskKind::Sync, 0, 1e12);
+    const MeasuredTrace mt2 = rec2.finish();
+    EXPECT_DOUBLE_EQ(mt2.startUs[huge], 0.0);
+}
+
 TEST(MeasuredTrace, IdsAreMonotonicUnderConcurrentBegins)
 {
     // Concurrent begin/end from pool executors: ids must stay dense,

@@ -141,9 +141,11 @@ TEST(ThreadPool, ParallelForPropagatesFirstException)
 TEST(ThreadPool, ParallelForFailsFastOnException)
 {
     // A throwing body must abandon the (large) remaining iteration
-    // space instead of executing all of it.  Each executor can claim
-    // at most one iteration after the failure is published, so the
-    // executed count stays tiny compared to n.
+    // space instead of executing all of it.  Iterations are claimed in
+    // grains, but every in-flight grain polls the failure flag, so
+    // each executor runs at most a handful of iterations after the
+    // failure is published and the executed count stays tiny compared
+    // to n.
     ThreadPool pool(4);
     constexpr std::size_t n = 1 << 16;
     std::atomic<std::size_t> executed{0};
@@ -160,6 +162,83 @@ TEST(ThreadPool, ParallelForFailsFastOnException)
     // Generous bound for noisy schedulers; still 64x below n, which
     // the pre-fix behavior (run everything) always exceeded.
     EXPECT_LE(executed.load(), std::size_t{1024});
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexForAnyGrain)
+{
+    // Grained claiming must tile [0, n) exactly — no index dropped at
+    // the ragged last grain, none run twice — for grains smaller than,
+    // dividing, and exceeding n, plus the automatic grain (0).
+    ThreadPool pool(4);
+    constexpr std::size_t n = 1000;
+    for (const std::size_t grain : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{3}, std::size_t{100},
+                                    std::size_t{999}, std::size_t{5000}}) {
+        std::vector<std::atomic<int>> hits(n);
+        pool.parallelFor(
+            n, [&](std::size_t i) { ++hits[i]; },
+            /*max_concurrency=*/0, grain);
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(hits[i].load(), 1)
+                << "grain " << grain << " index " << i;
+    }
+}
+
+TEST(ThreadPool, ParallelForExplicitGrainFailsFast)
+{
+    // Fail-fast stays iteration-granular even with a huge explicit
+    // grain: the erroring executor's own grain stops at the throw, and
+    // other in-flight grains bail at the next flag poll.
+    ThreadPool pool(4);
+    constexpr std::size_t n = 1 << 15;
+    std::atomic<std::size_t> executed{0};
+    EXPECT_THROW(
+        pool.parallelFor(
+            n,
+            [&](std::size_t i) {
+                ++executed;
+                if (i == 3)
+                    throw std::runtime_error("stop");
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(20));
+            },
+            /*max_concurrency=*/0, /*grain=*/4096),
+        std::runtime_error);
+    EXPECT_LE(executed.load(), std::size_t{1024});
+}
+
+TEST(ThreadPool, ParallelForReportsCallerJoinWait)
+{
+    // With one helper pinned on a slow iteration the caller runs out
+    // of work and must block at the join: the measured wait is
+    // positive and roughly the helper's remaining runtime.
+    ThreadPool pool(2);
+    std::atomic<bool> slow_claimed{false};
+    double wait = -1.0;
+    pool.parallelFor(
+        2,
+        [&](std::size_t i) {
+            if (i == 1) {
+                slow_claimed.store(true);
+                std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            } else {
+                // Don't finish before the slow iteration was claimed,
+                // or the caller might claim both and never wait.
+                while (!slow_claimed.load())
+                    std::this_thread::yield();
+            }
+        },
+        /*max_concurrency=*/0, /*grain=*/1, &wait);
+    EXPECT_GE(wait, 0.0);
+
+    // Caller-only execution (stopped pool) has no one to wait for.
+    ThreadPool solo(1);
+    solo.stop();
+    double solo_wait = -1.0;
+    solo.parallelFor(
+        8, [](std::size_t) {}, 0, 0, &solo_wait);
+    EXPECT_GE(solo_wait, 0.0);
+    EXPECT_LT(solo_wait, 0.5);
 }
 
 TEST(ThreadPool, StopIsIdempotentAndDegradesGracefully)
