@@ -25,6 +25,7 @@ int
 main(int argc, char **argv)
 {
     const auto opt = bench::BenchOptions::parse(argc, argv, 0.5);
+    const bench::MetricsScope metrics_scope(opt);
     const core::Engine engine;
     const platform::Simulator sim(platform::MachineModel::haswell(28));
     const unsigned chunk_options[] = {2, 7, 14, 28, 56};

@@ -26,6 +26,7 @@ int
 main(int argc, char **argv)
 {
     const auto opt = bench::BenchOptions::parse(argc, argv, 0.5);
+    const bench::MetricsScope metrics_scope(opt);
     const core::Engine engine;
 
     Table table({"Benchmark", "copy x1", "copy x4", "copy x32",

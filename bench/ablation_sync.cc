@@ -23,6 +23,7 @@ int
 main(int argc, char **argv)
 {
     const auto opt = bench::BenchOptions::parse(argc, argv, 0.5);
+    const bench::MetricsScope metrics_scope(opt);
     const core::Engine engine;
     const double costs[] = {1800.0, 900.0, 300.0, 100.0, 0.0};
 

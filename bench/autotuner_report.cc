@@ -22,6 +22,7 @@ main(int argc, char **argv)
 {
     const util::Cli cli(argc, argv);
     const auto opt = bench::BenchOptions::parse(argc, argv, 0.25);
+    const bench::MetricsScope metrics_scope(opt);
     const std::size_t budget =
         static_cast<std::size_t>(cli.getInt("budget", 120));
     const std::size_t eval_threads =

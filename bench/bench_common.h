@@ -6,10 +6,14 @@
  *   --scale=<0..1>   input-size multiplier (default varies per bench)
  *   --seed=<n>       master seed (default 42)
  *   --csv            emit CSV instead of the aligned table
- * plus bench-specific flags.  Each binary regenerates the rows/series
- * of one table or figure of the paper and, where the paper gives
- * absolute numbers, prints them alongside for shape comparison
- * (EXPERIMENTS.md records the correspondence).
+ * plus bench-specific flags:
+ *   --metrics=<on|off>     always-on runtime metrics (default on)
+ *   --metrics-out=<path>   also write the final metrics snapshot to
+ *                          <path> (.prom => Prometheus text, else JSON)
+ * Each binary regenerates the rows/series of one table or figure of
+ * the paper and, where the paper gives absolute numbers, prints them
+ * alongside for shape comparison (EXPERIMENTS.md records the
+ * correspondence).
  */
 
 #ifndef REPRO_BENCH_BENCH_COMMON_H
@@ -21,7 +25,10 @@
 #include <string>
 #include <thread>
 
+#include "metrics/export.h"
+#include "metrics/metrics.h"
 #include "util/cli.h"
+#include "util/log.h"
 #include "util/table.h"
 #include "workloads/workload.h"
 
@@ -33,6 +40,8 @@ struct BenchOptions
     double scale = 0.5;
     std::uint64_t seed = 42;
     bool csv = false;
+    bool metrics = true;    //!< --metrics=on|off (also true/false/1/0).
+    std::string metricsOut; //!< --metrics-out=<path>, empty = don't write.
 
     static BenchOptions
     parse(int argc, char **argv, double default_scale)
@@ -42,9 +51,63 @@ struct BenchOptions
         opt.scale = cli.getDouble("scale", default_scale);
         opt.seed = static_cast<std::uint64_t>(cli.getInt("seed", 42));
         opt.csv = cli.getBool("csv", false);
+        // getBool rejects on/off, and the metrics switch reads most
+        // naturally as --metrics=off — accept both spellings.
+        const std::string metrics = cli.getString("metrics", "on");
+        if (metrics == "on" || metrics == "true" || metrics == "1" ||
+            metrics == "yes")
+            opt.metrics = true;
+        else if (metrics == "off" || metrics == "false" ||
+                 metrics == "0" || metrics == "no")
+            opt.metrics = false;
+        else
+            util::fatal("--metrics must be on or off, got: " + metrics);
+        opt.metricsOut = cli.getString("metrics-out", "");
         return opt;
     }
 };
+
+/**
+ * Applies a bench's metrics options for the duration of a scope
+ * (normally all of main): switches collection on or off, and at
+ * destruction writes the final snapshot to --metrics-out when a path
+ * was given.  Collection state is restored on exit so harnesses that
+ * embed several measurement scopes compose.
+ */
+class MetricsScope
+{
+  public:
+    explicit MetricsScope(const BenchOptions &opt)
+        : out_(opt.metricsOut), wasEnabled_(metrics::enabled())
+    {
+        metrics::setEnabled(opt.metrics);
+    }
+
+    ~MetricsScope()
+    {
+        if (!out_.empty()) {
+            metrics::writeSnapshotFile(
+                metrics::MetricsRegistry::global().snapshot(), out_);
+        }
+        metrics::setEnabled(wasEnabled_);
+    }
+
+    MetricsScope(const MetricsScope &) = delete;
+    MetricsScope &operator=(const MetricsScope &) = delete;
+
+  private:
+    const std::string out_;
+    const bool wasEnabled_;
+};
+
+/** The final metrics snapshot as a JSON object, for embedding in a
+ *  BENCH_*.json under the "metrics" key. */
+inline std::string
+metricsSnapshotJson(const std::string &indent = "  ")
+{
+    return metrics::toJson(metrics::MetricsRegistry::global().snapshot(),
+                           indent);
+}
 
 /**
  * JSON object describing the host the bench ran on, for inclusion in
@@ -89,10 +152,11 @@ threadsExceedCores(unsigned requested)
     const unsigned hw = std::thread::hardware_concurrency();
     const bool exceeds = hw != 0 && requested > hw;
     if (exceeds) {
-        std::cerr << "WARNING: requested parallelism (" << requested
-                  << ") exceeds hardware_concurrency (" << hw
-                  << "); wall-clock speedups are time-shared, not "
-                     "parallel\n";
+        REPRO_LOG_WARN("requested parallelism ("
+                       << requested << ") exceeds hardware_concurrency ("
+                       << hw
+                       << "); wall-clock speedups are time-shared, not "
+                          "parallel");
     }
     return exceeds;
 }

@@ -20,6 +20,7 @@ int
 main(int argc, char **argv)
 {
     const auto opt = bench::BenchOptions::parse(argc, argv, 1.0);
+    const bench::MetricsScope metrics_scope(opt);
     const core::Engine engine;
     const analysis::SpeedupMeter meter(engine);
 

@@ -49,6 +49,7 @@ int
 main(int argc, char **argv)
 {
     const auto opt = bench::BenchOptions::parse(argc, argv, 1.0);
+    const bench::MetricsScope metrics_scope(opt);
     run(opt.scale, opt.seed, 14, opt.csv);
     run(opt.scale, opt.seed, 28, opt.csv);
     std::cout << "paper: state-copy losses are negligible (copies are "

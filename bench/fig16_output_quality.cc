@@ -23,6 +23,7 @@ main(int argc, char **argv)
 {
     const util::Cli cli(argc, argv);
     const auto opt = bench::BenchOptions::parse(argc, argv, 0.4);
+    const bench::MetricsScope metrics_scope(opt);
     const unsigned runs =
         static_cast<unsigned>(cli.getInt("runs", 200));
     const core::Engine engine;

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Compares two metrics snapshots and flags counter regressions.
+ *
+ * Inputs are either bare snapshot files (metrics::writeSnapshotFile /
+ * --metrics-out) or BENCH_*.json artifacts, whose snapshot lives under
+ * the top-level "metrics" key — the tool auto-detects which.  Counters
+ * and gauges are compared name by name; a *regression* is a counted
+ * quantity that grew by more than --threshold relative to the old run
+ * (more state copies, more aborts, more compares for the same work).
+ * Timing-derived values (the histograms) vary run to run on a shared
+ * host, so they are printed for context but never gated.
+ *
+ * Usage:
+ *   metrics_diff OLD.json NEW.json [--threshold=0.1]
+ *                [--fail-on-regression] [--csv]
+ *
+ * Exit status: 0 normally; 1 when --fail-on-regression was given and
+ * at least one counter regressed beyond the threshold.
+ */
+
+#include <cmath>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/cli.h"
+#include "util/json.h"
+#include "util/log.h"
+#include "util/table.h"
+
+using repro::util::formatDouble;
+using repro::util::JsonValue;
+using repro::util::Table;
+
+namespace {
+
+/** Snapshot halves relevant to the diff: name → numeric value. */
+struct FlatSnapshot
+{
+    std::map<std::string, double> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, double> histogramCounts; //!< name → count.
+};
+
+/** The "metrics" object of a BENCH_*.json, or the document itself
+ *  when it already is a bare snapshot. */
+const JsonValue &
+snapshotRoot(const JsonValue &doc, const std::string &path)
+{
+    if (doc.find("counters"))
+        return doc;
+    if (const JsonValue *metrics = doc.find("metrics")) {
+        if (metrics->find("counters"))
+            return *metrics;
+    }
+    repro::util::fatal(path +
+                       ": neither a metrics snapshot (no \"counters\" "
+                       "key) nor a BENCH artifact with one under "
+                       "\"metrics\"");
+}
+
+void
+loadSection(const JsonValue &root, const char *key,
+            std::map<std::string, double> &out)
+{
+    const JsonValue *section = root.find(key);
+    if (!section || !section->isObject())
+        return;
+    for (const auto &[name, value] : section->object()) {
+        if (value.isNumber())
+            out.emplace(name, value.asNumber());
+    }
+}
+
+FlatSnapshot
+load(const std::string &path)
+{
+    JsonValue doc;
+    try {
+        doc = JsonValue::parseFile(path);
+    } catch (const std::exception &e) {
+        repro::util::fatal(std::string("cannot read ") + path + ": " +
+                           e.what());
+    }
+    const JsonValue &root = snapshotRoot(doc, path);
+    FlatSnapshot snap;
+    loadSection(root, "counters", snap.counters);
+    loadSection(root, "gauges", snap.gauges);
+    if (const JsonValue *hists = root.find("histograms");
+        hists && hists->isObject()) {
+        for (const auto &[name, value] : hists->object()) {
+            if (const JsonValue *count = value.find("count");
+                count && count->isNumber())
+                snap.histogramCounts.emplace(name, count->asNumber());
+        }
+    }
+    return snap;
+}
+
+/** Relative growth of @p now over @p then; 0 when both are zero. */
+double
+relativeDelta(double then, double now)
+{
+    if (then == 0.0)
+        return now == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+    return (now - then) / then;
+}
+
+std::string
+formatDelta(double delta)
+{
+    if (std::isinf(delta))
+        return "new";
+    return (delta >= 0 ? "+" : "") + formatDouble(delta * 100.0, 1) + "%";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const repro::util::Cli cli(argc, argv);
+    const auto &positional = cli.positional();
+    if (positional.size() != 2) {
+        std::cerr << "usage: metrics_diff OLD.json NEW.json"
+                     " [--threshold=0.1] [--fail-on-regression] [--csv]\n";
+        return 2;
+    }
+    const double threshold = cli.getDouble("threshold", 0.1);
+    const bool fail_on_regression =
+        cli.getBool("fail-on-regression", false);
+    const bool csv = cli.getBool("csv", false);
+
+    const FlatSnapshot before = load(positional[0]);
+    const FlatSnapshot after = load(positional[1]);
+
+    Table table({"metric", "old", "new", "delta", "flag"});
+    std::vector<std::string> regressions;
+    const auto diffSection =
+        [&](const std::map<std::string, double> &olds,
+            const std::map<std::string, double> &news, bool gate) {
+            // Union of names: metrics present on only one side still
+            // show up (a disappeared counter usually means the layer
+            // was never exercised — worth seeing, never a regression).
+            std::map<std::string, std::pair<double, double>> merged;
+            for (const auto &[name, v] : olds)
+                merged[name].first = v;
+            for (const auto &[name, v] : news)
+                merged[name].second = v;
+            for (const auto &[name, values] : merged) {
+                const auto [then, now] = values;
+                const double delta = relativeDelta(then, now);
+                const bool regressed =
+                    gate && now > then &&
+                    (std::isinf(delta) || delta > threshold);
+                if (regressed)
+                    regressions.push_back(name);
+                table.addRow({name, formatDouble(then, 0),
+                              formatDouble(now, 0), formatDelta(delta),
+                              regressed ? "REGRESSION" : ""});
+            }
+        };
+    diffSection(before.counters, after.counters, /*gate=*/true);
+    diffSection(before.gauges, after.gauges, /*gate=*/false);
+    diffSection(before.histogramCounts, after.histogramCounts,
+                /*gate=*/false);
+
+    if (csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+
+    if (!regressions.empty()) {
+        std::cout << regressions.size() << " counter(s) grew more than "
+                  << formatDouble(threshold * 100.0, 1) << "%: ";
+        for (std::size_t i = 0; i < regressions.size(); ++i)
+            std::cout << (i ? ", " : "") << regressions[i];
+        std::cout << "\n";
+        if (fail_on_regression)
+            return 1;
+    }
+    return 0;
+}

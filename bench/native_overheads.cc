@@ -33,6 +33,14 @@
  *   --pipeline=<mode>  on | off | both               (default both)
  *   --out=<path>       write the JSON here           (default BENCH_native_overheads.json)
  *   --trace=<path>     dump the last mode's measured run as a Chrome trace
+ *   --metrics=<on|off> always-on metrics collection  (default on)
+ *   --metrics-out=<p>  also write the metrics snapshot to <p>
+ *
+ * Besides the overhead ladder, the harness prices the always-on
+ * metrics themselves: the first protocol's STATS run is timed with
+ * collection on and off (interleaved, best of repeats) and the ratio
+ * is reported as "metrics_overhead_fraction" — the acceptance bound
+ * is < 2%.
  */
 
 #include <algorithm>
@@ -47,6 +55,7 @@
 #include "analysis/overheads.h"
 #include "bench/bench_common.h"
 #include "core/native_runtime.h"
+#include "metrics/metrics.h"
 #include "platform/machine.h"
 #include "platform/measured.h"
 #include "platform/trace_export.h"
@@ -151,6 +160,7 @@ main(int argc, char **argv)
     const std::string out_path =
         cli.getString("out", "BENCH_native_overheads.json");
     const std::string trace_path = cli.getString("trace", "");
+    const bench::MetricsScope metrics_scope(opt);
 
     std::vector<CommitProtocol> protocols;
     if (pipeline_mode == "both")
@@ -231,9 +241,9 @@ main(int argc, char **argv)
                 mode.identical && sameResult(recorded, plain);
         }
         if (!mode.identical) {
-            std::cerr << "WARNING: recording changed the "
-                      << core::commitProtocolName(protocol)
-                      << " results — observer bug\n";
+            REPRO_LOG_WARN("recording changed the "
+                           << core::commitProtocolName(protocol)
+                           << " results — observer bug");
         }
         mode.sched = platform::measuredSchedule(mode.mt);
         mode.cp = analysis::criticalPathReport(mode.sched, mode.mt.graph);
@@ -248,9 +258,44 @@ main(int argc, char **argv)
     // repeats the check on its own workload/config).
     for (std::size_t m = 1; m < modes.size(); ++m) {
         if (!sameResult(modes[m].recorded, modes[0].recorded)) {
-            std::cerr << "WARNING: commit protocols disagree on "
-                         "results — scheduling bug\n";
+            REPRO_LOG_WARN("commit protocols disagree on results — "
+                           "scheduling bug");
         }
+    }
+
+    // Price the always-on metrics: the first protocol's STATS run,
+    // collection on vs off, interleaved so clock drift and cache
+    // warm-up hit both states alike, best of repeats each.  Results
+    // must be bit-identical either way — collection only counts.
+    // Skipped under --metrics=off: the probe would have to enable
+    // collection, against the flag's word (the fields stay 0).
+    double on_seconds = 0.0;
+    double off_seconds = 0.0;
+    double metrics_overhead = 0.0;
+    bool metrics_identical = true;
+    if (opt.metrics) {
+        const NativeRuntime probe_rt(threads, protocols.front());
+        on_seconds = std::numeric_limits<double>::infinity();
+        off_seconds = std::numeric_limits<double>::infinity();
+        for (int r = 0; r < repeats; ++r) {
+            metrics::setEnabled(true);
+            const NativeRuntime::Result on_run =
+                probe_rt.run(model, config, opt.seed);
+            metrics::setEnabled(false);
+            const NativeRuntime::Result off_run =
+                probe_rt.run(model, config, opt.seed);
+            on_seconds = std::min(on_seconds, on_run.wallSeconds);
+            off_seconds = std::min(off_seconds, off_run.wallSeconds);
+            metrics_identical =
+                metrics_identical && sameResult(on_run, off_run);
+        }
+        metrics::setEnabled(opt.metrics);
+        if (!metrics_identical) {
+            REPRO_LOG_WARN("metrics collection changed the results — "
+                           "instrumentation bug");
+        }
+        metrics_overhead =
+            off_seconds > 0.0 ? on_seconds / off_seconds - 1.0 : 0.0;
     }
 
     // DES prediction of the same (workload, config, seed) for the
@@ -324,6 +369,12 @@ main(int argc, char **argv)
                   << formatPercent(modes[1].syncPlusImbalance())
                   << " of ideal speedup\n";
     }
+    if (opt.metrics) {
+        std::cout << "metrics overhead: "
+                  << formatPercent(metrics_overhead) << " ("
+                  << formatDouble(on_seconds * 1e3, 2) << " ms on vs "
+                  << formatDouble(off_seconds * 1e3, 2) << " ms off)\n";
+    }
 
     std::ostringstream json;
     json << "{\n"
@@ -338,6 +389,12 @@ main(int argc, char **argv)
          << "  \"repeats\": " << repeats << ",\n"
          << "  \"host\": " << bench::hostMetadataJson() << ",\n"
          << "  \"sequential_seconds\": " << seq_seconds << ",\n"
+         << "  \"metrics_overhead_fraction\": " << metrics_overhead
+         << ",\n"
+         << "  \"stats_seconds_metrics_on\": " << on_seconds << ",\n"
+         << "  \"stats_seconds_metrics_off\": " << off_seconds << ",\n"
+         << "  \"metrics_identical\": "
+         << (metrics_identical ? "true" : "false") << ",\n"
          << "  \"modes\": {\n";
     for (std::size_t m = 0; m < modes.size(); ++m) {
         const ModeReport &mode = modes[m];
@@ -386,7 +443,8 @@ main(int argc, char **argv)
     }
     json << "  },\n";
     ladderJson(json, "  ", "des_model", des);
-    json << "\n}\n";
+    json << ",\n  \"metrics\": " << bench::metricsSnapshotJson("  ")
+         << "\n}\n";
 
     if (!out_path.empty()) {
         std::ofstream os(out_path);

@@ -48,6 +48,7 @@ int
 main(int argc, char **argv)
 {
     const auto opt = bench::BenchOptions::parse(argc, argv, 1.0);
+    const bench::MetricsScope metrics_scope(opt);
 
     Table table(
         {"Benchmark", "Build", "L1D / L2 / LLC / BR  (misses, rate)"});

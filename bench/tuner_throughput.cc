@@ -96,6 +96,7 @@ main(int argc, char **argv)
     const std::string strategy_name = cli.getString("strategy", "random");
     const int repeats = static_cast<int>(cli.getInt("repeats", 3));
     const std::string out_path = cli.getString("out", "");
+    const repro::bench::MetricsScope metrics_scope(opt);
 
     const repro::core::Engine engine;
     const auto workload =
@@ -166,7 +167,9 @@ main(int argc, char **argv)
              << (s.identical ? "true" : "false") << "}"
              << (i + 1 < samples.size() ? "," : "") << "\n";
     }
-    json << "  ]\n}\n";
+    json << "  ],\n"
+         << "  \"metrics\": " << repro::bench::metricsSnapshotJson("  ")
+         << "\n}\n";
 
     std::cout << json.str();
     if (!out_path.empty()) {

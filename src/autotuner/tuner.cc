@@ -5,6 +5,7 @@
 #include <future>
 #include <map>
 
+#include "metrics/metrics.h"
 #include "platform/des.h"
 #include "util/log.h"
 #include "util/thread_pool.h"
@@ -13,6 +14,34 @@ namespace repro::autotuner {
 
 using core::DesignSpace;
 using core::StatsConfig;
+
+namespace {
+
+/** Always-on tuner telemetry (metrics/metrics.h). */
+struct TunerMetrics
+{
+    metrics::Counter &evaluated;    //!< Objective::evaluate calls.
+    metrics::Counter &cacheHits;    //!< Proposals answered from cache.
+    metrics::Counter &specLaunched; //!< Speculative evaluations started.
+    metrics::Counter &specHits;     //!< Proposals served speculatively.
+    metrics::Counter &specMisses;   //!< Proposals the pipeline missed.
+    metrics::LatencyHistogram &evaluateSeconds;
+};
+
+TunerMetrics &
+tunerMetrics()
+{
+    auto &reg = metrics::MetricsRegistry::global();
+    static TunerMetrics m{reg.counter("tuner.configs_evaluated"),
+                          reg.counter("tuner.cache_hits"),
+                          reg.counter("tuner.speculations_launched"),
+                          reg.counter("tuner.speculation_hits"),
+                          reg.counter("tuner.speculation_misses"),
+                          reg.histogram("tuner.evaluate_seconds")};
+    return m;
+}
+
+} // namespace
 
 Objective::Objective(const workloads::Workload &workload,
                      const core::Engine &engine,
@@ -27,6 +56,8 @@ Objective::evaluate(const StatsConfig &config, std::uint64_t seed) const
     const auto &model = workload_.model();
     if (!config.check(model.numInputs()).empty())
         return std::numeric_limits<double>::infinity();
+    tunerMetrics().evaluated.inc();
+    const metrics::ScopedTimer timer(tunerMetrics().evaluateSeconds);
     const core::RunResult run =
         engine_.runStats(model, workload_.region(), workload_.tlpModel(),
                          config, seed);
@@ -382,6 +413,7 @@ class SpeculationCache
     {
         if (inflight_.size() >= capacity_ || has(index))
             return;
+        tunerMetrics().specLaunched.inc();
         inflight_.emplace(index, pool_.submit([this, index] {
             Evaluation eval;
             eval.config = space_.at(index);
@@ -496,13 +528,18 @@ Tuner::tune(const Objective &objective, const DesignSpace &space,
         const std::size_t index = strategy.propose(space, history, rng);
         REPRO_ASSERT(index < space.size(),
                      "strategy proposed an out-of-space index");
-        if (cache.count(index))
+        if (cache.count(index)) {
+            tunerMetrics().cacheHits.inc();
             continue;
+        }
 
         Evaluation eval;
         if (spec && spec->has(index)) {
+            tunerMetrics().specHits.inc();
             eval = spec->take(index);
         } else {
+            if (spec)
+                tunerMetrics().specMisses.inc();
             eval.config = space.at(index);
             eval.cycles = objective.evaluate(
                 eval.config,

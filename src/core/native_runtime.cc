@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "metrics/metrics.h"
 #include "trace/measured_trace.h"
 #include "util/log.h"
 #include "util/task_graph_executor.h"
@@ -15,6 +16,82 @@ namespace {
 using trace::TaskId;
 using trace::TaskKind;
 using trace::ThreadId;
+
+/**
+ * Always-on runtime counters (metrics/metrics.h): cheap enough to
+ * leave enabled on every run, unlike the opt-in measured trace.  The
+ * protocol outcome counters (commits, aborts, matches) are shared by
+ * both commit protocols; per-phase latencies are kept per protocol so
+ * a snapshot separates barrier from pipelined behaviour.
+ */
+struct RuntimeCounters
+{
+    metrics::Counter &statsRuns;      //!< NativeRuntime::run calls.
+    metrics::Counter &sequentialRuns; //!< runSequential calls.
+    metrics::Counter &commits;        //!< Chunks committed.
+    metrics::Counter &aborts;         //!< Chunks aborted + re-executed.
+    metrics::Counter &compares;       //!< Replica validations.
+    metrics::Counter &matches;        //!< ... that accepted the chunk.
+    metrics::Counter &mismatches;     //!< ... that rejected it.
+    metrics::Counter &replicaRegens;  //!< Original states regenerated.
+    metrics::Counter &stateCopies;    //!< State clones.
+    metrics::Counter &stateCopyBytes; //!< Bytes those clones moved.
+};
+
+RuntimeCounters &
+runtimeCounters()
+{
+    auto &reg = metrics::MetricsRegistry::global();
+    static RuntimeCounters m{reg.counter("runtime.stats_runs"),
+                             reg.counter("runtime.sequential_runs"),
+                             reg.counter("runtime.chunks_committed"),
+                             reg.counter("runtime.chunks_aborted"),
+                             reg.counter("runtime.replica_validations"),
+                             reg.counter("runtime.compare_matches"),
+                             reg.counter("runtime.compare_mismatches"),
+                             reg.counter("runtime.replica_regens"),
+                             reg.counter("runtime.state_copies"),
+                             reg.counter("runtime.state_copy_bytes")};
+    return m;
+}
+
+/** Per-phase latency histograms of one commit protocol. */
+struct PhaseHists
+{
+    metrics::LatencyHistogram &chunkBody;
+    metrics::LatencyHistogram &altProducer;
+    metrics::LatencyHistogram &stateCopy;
+    metrics::LatencyHistogram &replicaGen;
+    metrics::LatencyHistogram &compare;
+    metrics::LatencyHistogram &boundaryResolve;
+    metrics::LatencyHistogram &reexec;
+    metrics::LatencyHistogram &run;
+};
+
+const PhaseHists &
+phaseHists(bool pipelined)
+{
+    auto &reg = metrics::MetricsRegistry::global();
+    static const PhaseHists barrier{
+        reg.histogram("runtime.barrier.chunk_body_seconds"),
+        reg.histogram("runtime.barrier.alt_producer_seconds"),
+        reg.histogram("runtime.barrier.state_copy_seconds"),
+        reg.histogram("runtime.barrier.replica_gen_seconds"),
+        reg.histogram("runtime.barrier.compare_seconds"),
+        reg.histogram("runtime.barrier.boundary_resolve_seconds"),
+        reg.histogram("runtime.barrier.reexec_seconds"),
+        reg.histogram("runtime.barrier.run_seconds")};
+    static const PhaseHists piped{
+        reg.histogram("runtime.pipelined.chunk_body_seconds"),
+        reg.histogram("runtime.pipelined.alt_producer_seconds"),
+        reg.histogram("runtime.pipelined.state_copy_seconds"),
+        reg.histogram("runtime.pipelined.replica_gen_seconds"),
+        reg.histogram("runtime.pipelined.compare_seconds"),
+        reg.histogram("runtime.pipelined.boundary_resolve_seconds"),
+        reg.histogram("runtime.pipelined.reexec_seconds"),
+        reg.histogram("runtime.pipelined.run_seconds")};
+    return pipelined ? piped : barrier;
+}
 
 /** Sentinel for "no recorded task". */
 constexpr TaskId kNoTask = static_cast<TaskId>(-1);
@@ -176,7 +253,9 @@ class RunImpl
           n_(model.numInputs()), C_(config.numChunks),
           K_(config.altWindowK), R_(config.numOriginalStates),
           maxThreads_(max_threads), pool_(util::ThreadPool::global()),
-          poolProfile_(pool_, recorder)
+          poolProfile_(pool_, recorder), met_(runtimeCounters()),
+          ph_(&phaseHists(false)),
+          stateBytes_(model.stateSizeBytes())
     {
         setupTask_ = obs_.begin(TaskKind::Setup, kMainThread);
         begin_.resize(C_);
@@ -248,6 +327,7 @@ class RunImpl
     runPipelined()
     {
         pipelined_ = true;
+        ph_ = &phaseHists(true);
         using NodeId = util::TaskGraphExecutor::NodeId;
         util::TaskGraphExecutor exec(pool_, maxThreads_);
 
@@ -297,6 +377,18 @@ class RunImpl
     }
 
   private:
+    /** Clones @p source, charging the copy to the always-on metrics
+     *  (count, bytes, latency).  All protocol state copies go through
+     *  here; the recorder's StateCopy tasks stay at the call sites. */
+    StateHandle
+    cloneCounted(const State &source)
+    {
+        const metrics::ScopedTimer timer(ph_->stateCopy);
+        met_.stateCopies.inc();
+        met_.stateCopyBytes.inc(stateBytes_);
+        return source.clone();
+    }
+
     ThreadId
     chunkThread(unsigned c) const
     {
@@ -328,12 +420,15 @@ class RunImpl
             cp.altTask = obs_.begin(TaskKind::AltProducer, th,
                                     static_cast<std::int32_t>(c));
             obs_.dep(setupTask_, cp.altTask);
-            runSpan(model_, *working, begin_[c] - K_, begin_[c],
-                    alt_rng, nullptr, TaskKind::AltProducer);
+            {
+                const metrics::ScopedTimer timer(ph_->altProducer);
+                runSpan(model_, *working, begin_[c] - K_, begin_[c],
+                        alt_rng, nullptr, TaskKind::AltProducer);
+            }
             obs_.end(cp.altTask);
             cp.specCopyTask = obs_.begin(TaskKind::StateCopy, th,
                                          static_cast<std::int32_t>(c));
-            cp.specState = working->clone();
+            cp.specState = cloneCounted(*working);
             obs_.end(cp.specCopyTask);
         }
 
@@ -346,14 +441,17 @@ class RunImpl
                               static_cast<std::int32_t>(c));
         if (c == 0)
             obs_.dep(setupTask_, cp.bodyA);
-        runSpan(model_, *working, begin_[c], cp.snap, cp.bodyRng,
-                cp.outputs.data(), TaskKind::ChunkBody);
+        {
+            const metrics::ScopedTimer timer(ph_->chunkBody);
+            runSpan(model_, *working, begin_[c], cp.snap, cp.bodyRng,
+                    cp.outputs.data(), TaskKind::ChunkBody);
+        }
         obs_.end(cp.bodyA);
         cp.bodyLast = cp.bodyA;
         if (needs_snapshot) {
             cp.snapshotTask = obs_.begin(TaskKind::StateCopy, th,
                                          static_cast<std::int32_t>(c));
-            cp.snapshot = working->clone();
+            cp.snapshot = cloneCounted(*working);
             obs_.end(cp.snapshotTask);
             cp.working = std::move(working);
         } else {
@@ -370,9 +468,12 @@ class RunImpl
         ChunkProducts &cp = chunks_[c];
         cp.bodyB = obs_.begin(TaskKind::ChunkBody, th,
                               static_cast<std::int32_t>(c));
-        runSpan(model_, *cp.working, cp.snap, end_[c], cp.bodyRng,
-                cp.outputs.data() + (cp.snap - begin_[c]),
-                TaskKind::ChunkBody);
+        {
+            const metrics::ScopedTimer timer(ph_->chunkBody);
+            runSpan(model_, *cp.working, cp.snap, end_[c], cp.bodyRng,
+                    cp.outputs.data() + (cp.snap - begin_[c]),
+                    TaskKind::ChunkBody);
+        }
         obs_.end(cp.bodyB);
         cp.bodyLast = cp.bodyB;
         cp.finalState = std::move(cp.working);
@@ -404,14 +505,18 @@ class RunImpl
         obs_.dep(source_task, rep_copy);
         for (const TaskId before : serialize_after)
             obs_.dep(before, rep_copy);
-        StateHandle replica = source.clone();
+        StateHandle replica = cloneCounted(source);
         obs_.end(rep_copy);
         const TaskId rep_task =
             obs_.begin(TaskKind::OriginalStateGen, rth,
                        static_cast<std::int32_t>(c));
         util::Rng rng = base_.split(3000 + c * 128 + rep);
-        runSpan(model_, *replica, snap, end_[c], rng, nullptr,
-                TaskKind::OriginalStateGen);
+        met_.replicaRegens.inc();
+        {
+            const metrics::ScopedTimer timer(ph_->replicaGen);
+            runSpan(model_, *replica, snap, end_[c], rng, nullptr,
+                    TaskKind::OriginalStateGen);
+        }
         obs_.end(rep_task);
         BoundaryProducts &bp = boundaries_[c];
         bp.replicaTasks[rep] = rep_task;
@@ -458,6 +563,7 @@ class RunImpl
     void
     resolveBoundary(unsigned c)
     {
+        const metrics::ScopedTimer boundary_timer(ph_->boundaryResolve);
         if (c == 0) {
             // Chunk 0 runs from the program's initial state — it is
             // never speculative, so its products commit as they are.
@@ -503,7 +609,13 @@ class RunImpl
                 for (const TaskId js : joinSources_)
                     obs_.dep(js, cmp);
             }
-            const bool matched = model_.matches(*nxt.specState, original);
+            met_.compares.inc();
+            bool matched;
+            {
+                const metrics::ScopedTimer timer(ph_->compare);
+                matched = model_.matches(*nxt.specState, original);
+            }
+            (matched ? met_.matches : met_.mismatches).inc();
             obs_.end(cmp);
             lastMainTask_ = cmp;
             return matched;
@@ -552,7 +664,7 @@ class RunImpl
             obs_.begin(TaskKind::StateCopy, kMainThread,
                        static_cast<std::int32_t>(c + 1));
         obs_.dep(committedFinalTask_, redo_copy);
-        StateHandle redo = committedFinal_->clone();
+        StateHandle redo = cloneCounted(*committedFinal_);
         obs_.end(redo_copy);
         util::Rng redo_rng = base_.split(5000 + c + 1);
         const bool needs_snapshot = c + 2 < C_;
@@ -562,25 +674,31 @@ class RunImpl
         const TaskId redo_a =
             obs_.begin(TaskKind::MispecReExec, kMainThread,
                        static_cast<std::int32_t>(c + 1));
-        runSpan(model_, *redo, begin_[c + 1], redo_snap, redo_rng,
-                result_.outputs.data() + begin_[c + 1],
-                TaskKind::MispecReExec);
+        {
+            const metrics::ScopedTimer timer(ph_->reexec);
+            runSpan(model_, *redo, begin_[c + 1], redo_snap, redo_rng,
+                    result_.outputs.data() + begin_[c + 1],
+                    TaskKind::MispecReExec);
+        }
         obs_.end(redo_a);
         committedFinalTask_ = redo_a;
         if (needs_snapshot) {
             const TaskId redo_snap_copy =
                 obs_.begin(TaskKind::StateCopy, kMainThread,
                            static_cast<std::int32_t>(c + 1));
-            committedSnapshotOwned_ = redo->clone();
+            committedSnapshotOwned_ = cloneCounted(*redo);
             obs_.end(redo_snap_copy);
             committedSnapshot_ = committedSnapshotOwned_.get();
             committedSnapshotTask_ = redo_snap_copy;
             const TaskId redo_b =
                 obs_.begin(TaskKind::MispecReExec, kMainThread,
                            static_cast<std::int32_t>(c + 1));
-            runSpan(model_, *redo, redo_snap, end_[c + 1], redo_rng,
-                    result_.outputs.data() + redo_snap,
-                    TaskKind::MispecReExec);
+            {
+                const metrics::ScopedTimer timer(ph_->reexec);
+                runSpan(model_, *redo, redo_snap, end_[c + 1], redo_rng,
+                        result_.outputs.data() + redo_snap,
+                        TaskKind::MispecReExec);
+            }
             obs_.end(redo_b);
             committedFinalTask_ = redo_b;
         } else {
@@ -602,6 +720,10 @@ class RunImpl
     const unsigned maxThreads_;
     util::ThreadPool &pool_;
     const ScopedPoolProfile poolProfile_;
+    RuntimeCounters &met_;
+    const PhaseHists *ph_; //!< Switched to the pipelined set by
+                           //!< runPipelined().
+    const std::size_t stateBytes_;
 
     TaskId setupTask_ = kNoTask;
     std::vector<std::size_t> begin_, end_;
@@ -652,6 +774,7 @@ NativeRuntime::Result
 NativeRuntime::runSequential(const IStateModel &model, std::uint64_t seed,
                              trace::MeasuredTraceRecorder *recorder) const
 {
+    runtimeCounters().sequentialRuns.inc();
     const Observer obs(recorder);
     const auto start = std::chrono::steady_clock::now();
     Result result;
@@ -684,6 +807,7 @@ NativeRuntime::run(const IStateModel &model, const StatsConfig &config,
     }
 
     const auto start = std::chrono::steady_clock::now();
+    runtimeCounters().statsRuns.inc();
     RunImpl impl(model, config, seed, recorder, maxThreads);
     Result result = protocol_ == CommitProtocol::Pipelined
                         ? impl.runPipelined()
@@ -692,6 +816,10 @@ NativeRuntime::run(const IStateModel &model, const StatsConfig &config,
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
+    runtimeCounters().commits.inc(result.commits);
+    runtimeCounters().aborts.inc(result.aborts);
+    phaseHists(protocol_ == CommitProtocol::Pipelined)
+        .run.observe(result.wallSeconds);
     return result;
 }
 

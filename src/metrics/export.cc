@@ -1,0 +1,127 @@
+#include "metrics/export.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/log.h"
+
+namespace repro::metrics {
+
+namespace {
+
+/** Doubles formatted round-trip-safe (%.17g would be noisy; %.9g is
+ *  plenty for latencies in seconds) and always JSON-valid. */
+std::string
+jsonNumber(double v)
+{
+    std::ostringstream os;
+    os.precision(9);
+    os << v;
+    const std::string s = os.str();
+    // ostream renders infinities/NaN unparseably; metrics never
+    // produce them, but never emit broken JSON either.
+    if (s.find_first_not_of("0123456789+-.eE") != std::string::npos)
+        return "0";
+    return s;
+}
+
+std::string
+promName(const std::string &name)
+{
+    std::string out = "repro_";
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+toJson(const MetricsSnapshot &snap, const std::string &indent)
+{
+    std::ostringstream os;
+    const std::string in1 = indent + "  ";
+    const std::string in2 = indent + "    ";
+    os << "{\n" << in1 << "\"counters\": {";
+    for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+        os << (i ? "," : "") << "\n"
+           << in2 << "\"" << snap.counters[i].first
+           << "\": " << snap.counters[i].second;
+    }
+    os << (snap.counters.empty() ? "" : "\n" + in1) << "},\n"
+       << in1 << "\"gauges\": {";
+    for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+        os << (i ? "," : "") << "\n"
+           << in2 << "\"" << snap.gauges[i].first
+           << "\": " << snap.gauges[i].second;
+    }
+    os << (snap.gauges.empty() ? "" : "\n" + in1) << "},\n"
+       << in1 << "\"histograms\": {";
+    for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+        const auto &[name, h] = snap.histograms[i];
+        os << (i ? "," : "") << "\n"
+           << in2 << "\"" << name << "\": {\"count\": " << h.count
+           << ", \"sum_seconds\": " << jsonNumber(h.sumSeconds)
+           << ", \"mean_seconds\": " << jsonNumber(h.meanSeconds())
+           << ", \"p50_seconds\": "
+           << jsonNumber(h.quantileSeconds(0.50))
+           << ", \"p90_seconds\": "
+           << jsonNumber(h.quantileSeconds(0.90))
+           << ", \"p99_seconds\": "
+           << jsonNumber(h.quantileSeconds(0.99)) << "}";
+    }
+    os << (snap.histograms.empty() ? "" : "\n" + in1) << "}\n"
+       << indent << "}";
+    return os.str();
+}
+
+std::string
+toPrometheus(const MetricsSnapshot &snap)
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : snap.counters) {
+        const std::string p = promName(name);
+        os << "# TYPE " << p << " counter\n" << p << " " << value << "\n";
+    }
+    for (const auto &[name, value] : snap.gauges) {
+        const std::string p = promName(name);
+        os << "# TYPE " << p << " gauge\n" << p << " " << value << "\n";
+    }
+    for (const auto &[name, h] : snap.histograms) {
+        const std::string p = promName(name);
+        os << "# TYPE " << p << " histogram\n";
+        std::uint64_t cum = 0;
+        for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+            if (h.buckets[b] == 0)
+                continue; // Keep scrapes compact: 42 buckets, few used.
+            cum += h.buckets[b];
+            os << p << "_bucket{le=\""
+               << jsonNumber(LatencyHistogram::Snapshot::bucketHighSeconds(
+                      static_cast<int>(b)))
+               << "\"} " << cum << "\n";
+        }
+        os << p << "_bucket{le=\"+Inf\"} " << h.count << "\n"
+           << p << "_sum " << jsonNumber(h.sumSeconds) << "\n"
+           << p << "_count " << h.count << "\n";
+    }
+    return os.str();
+}
+
+void
+writeSnapshotFile(const MetricsSnapshot &snap, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        util::fatal("cannot write metrics snapshot to " + path);
+    const bool prom = path.size() >= 5 &&
+                      path.compare(path.size() - 5, 5, ".prom") == 0;
+    if (prom)
+        os << toPrometheus(snap);
+    else
+        os << toJson(snap) << "\n";
+}
+
+} // namespace repro::metrics

@@ -1,0 +1,200 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/histogram.h"
+#include "util/log.h"
+
+namespace repro::metrics {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+} // namespace
+
+void
+setEnabled(bool enabled)
+{
+    g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+unsigned
+shardIndex()
+{
+    static std::atomic<unsigned> next{0};
+    // Round-robin assignment on first use: with <= kShards live
+    // threads every thread owns a private shard; beyond that threads
+    // share, which is still correct (atomic adds), just contended.
+    thread_local const unsigned index =
+        next.fetch_add(1, std::memory_order_relaxed) % kShards;
+    return index;
+}
+
+void
+Counter::reset()
+{
+    for (detail::Cell &cell : shards_)
+        cell.v.store(0, std::memory_order_relaxed);
+}
+
+void
+Gauge::reset()
+{
+    for (detail::Cell &cell : shards_)
+        cell.v.store(0, std::memory_order_relaxed);
+}
+
+void
+LatencyHistogram::observe(double seconds)
+{
+    if (!enabled())
+        return;
+    const double us = std::max(seconds, 0.0) * 1e6;
+    // Bucket index = floor(log2(us)) - kLog2Lo, clamped into range.
+    // log2(0) is -inf; the first bucket absorbs it.
+    int b = 0;
+    if (us > 0.0) {
+        b = static_cast<int>(std::floor(std::log2(us))) - kLog2Lo;
+        b = std::max(0, std::min(b, kBuckets - 1));
+    }
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sumNanos_.fetch_add(
+        static_cast<std::uint64_t>(std::llround(seconds * 1e9)),
+        std::memory_order_relaxed);
+}
+
+double
+LatencyHistogram::Snapshot::bucketHighSeconds(int b)
+{
+    return std::exp2(static_cast<double>(kLog2Lo + b + 1)) * 1e-6;
+}
+
+double
+LatencyHistogram::Snapshot::quantileSeconds(double p) const
+{
+    if (count == 0)
+        return 0.0;
+    // Materialize the power-of-two buckets into a util::Histogram over
+    // log2(us) — equal-width bins there — and reuse its interpolating
+    // quantile.  Each bucket's mass is added at the bucket midpoint,
+    // which lands it in the matching bin.
+    util::Histogram h(static_cast<double>(kLog2Lo),
+                      static_cast<double>(kLog2Lo + kBuckets),
+                      static_cast<std::size_t>(kBuckets));
+    for (int b = 0; b < kBuckets; ++b) {
+        h.addCount(static_cast<double>(kLog2Lo + b) + 0.5,
+                   buckets[static_cast<std::size_t>(b)]);
+    }
+    return std::exp2(h.quantile(p)) * 1e-6;
+}
+
+LatencyHistogram::Snapshot
+LatencyHistogram::snapshot() const
+{
+    Snapshot snap;
+    snap.buckets.resize(kBuckets);
+    for (int b = 0; b < kBuckets; ++b) {
+        snap.buckets[static_cast<std::size_t>(b)] =
+            buckets_[b].load(std::memory_order_relaxed);
+    }
+    snap.count = count_.load(std::memory_order_relaxed);
+    snap.sumSeconds =
+        static_cast<double>(sumNanos_.load(std::memory_order_relaxed)) *
+        1e-9;
+    // Concurrent observes can make the scalar count lag or lead the
+    // bucket sweep; clamp so consumers never see sum(buckets) > count.
+    std::uint64_t bucket_total = 0;
+    for (const std::uint64_t c : snap.buckets)
+        bucket_total += c;
+    snap.count = std::max(snap.count, bucket_total);
+    return snap;
+}
+
+void
+LatencyHistogram::reset()
+{
+    for (auto &bucket : buckets_)
+        bucket.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sumNanos_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    // Intentionally immortal: pool workers may still increment during
+    // static destruction (ThreadPool::global() stops at exit); an
+    // ordinary static could be destroyed first.
+    static MetricsRegistry *registry = new MetricsRegistry();
+    return *registry;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+LatencyHistogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<LatencyHistogram>();
+    return *slot;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto &[name, counter] : counters_)
+        snap.counters.emplace_back(name, counter->value());
+    snap.gauges.reserve(gauges_.size());
+    for (const auto &[name, gauge] : gauges_)
+        snap.gauges.emplace_back(name, gauge->value());
+    snap.histograms.reserve(histograms_.size());
+    for (const auto &[name, hist] : histograms_)
+        snap.histograms.emplace_back(name, hist->snapshot());
+    return snap;
+}
+
+void
+MetricsRegistry::resetAll()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, counter] : counters_)
+        counter->reset();
+    for (const auto &[name, gauge] : gauges_)
+        gauge->reset();
+    for (const auto &[name, hist] : histograms_)
+        hist->reset();
+}
+
+} // namespace repro::metrics

@@ -19,13 +19,25 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 void
 Histogram::add(double value)
 {
+    addCount(value, 1);
+}
+
+void
+Histogram::addCount(double value, std::size_t n)
+{
+    if (n == 0)
+        return;
     const double frac = (value - lo_) / (hi_ - lo_);
     const auto bin = static_cast<std::size_t>(std::clamp(
         static_cast<long long>(std::floor(
             frac * static_cast<double>(counts.size()))),
         0LL, static_cast<long long>(counts.size()) - 1));
-    ++counts[bin];
-    ++total_;
+    counts[bin] += n;
+    total_ += n;
+    if (value < lo_)
+        clampedLow_ += n;
+    else if (value > hi_)
+        clampedHigh_ += n;
 }
 
 void
@@ -33,6 +45,47 @@ Histogram::addAll(const std::vector<double> &values)
 {
     for (double v : values)
         add(v);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    REPRO_ASSERT(lo_ == other.lo_ && hi_ == other.hi_ &&
+                     counts.size() == other.counts.size(),
+                 "merging histograms with different shapes");
+    for (std::size_t b = 0; b < counts.size(); ++b)
+        counts[b] += other.counts[b];
+    total_ += other.total_;
+    clampedLow_ += other.clampedLow_;
+    clampedHigh_ += other.clampedHigh_;
+}
+
+double
+Histogram::quantile(double p) const
+{
+    REPRO_ASSERT(total_ > 0, "quantile of an empty histogram");
+    REPRO_ASSERT(p >= 0.0 && p <= 1.0, "quantile order outside [0, 1]");
+    const double target = p * static_cast<double>(total_);
+    // Clamped-low mass sits exactly at lo (it only *renders* inside
+    // the first bin); interpolating it would fabricate in-range values.
+    double cum = static_cast<double>(clampedLow_);
+    if (clampedLow_ > 0 && target <= cum)
+        return lo_;
+    const double width = (hi_ - lo_) / static_cast<double>(counts.size());
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+        std::size_t in_range = counts[b];
+        if (b == 0)
+            in_range -= std::min(in_range, clampedLow_);
+        if (b + 1 == counts.size())
+            in_range -= std::min(in_range, clampedHigh_);
+        if (in_range == 0)
+            continue;
+        const double c = static_cast<double>(in_range);
+        if (target <= cum + c)
+            return binLow(b) + width * std::max(0.0, target - cum) / c;
+        cum += c;
+    }
+    return hi_;
 }
 
 std::size_t

@@ -1,10 +1,13 @@
 /**
  * @file
- * Text histograms for distribution figures (Fig. 16).
+ * Fixed-range histograms: distribution figures and metrics quantiles.
  *
  * The paper's Fig. 16 shows output-quality *distributions*; the
  * fig16 bench prints summary rows plus these ASCII histograms so the
- * distribution shapes themselves are visible in a terminal.
+ * distribution shapes themselves are visible in a terminal.  The
+ * always-on metrics layer (metrics/metrics.h) additionally uses
+ * Histogram as its quantile engine: streaming latency buckets are
+ * materialized with addCount() and summarized with quantile().
  */
 
 #ifndef REPRO_UTIL_HISTOGRAM_H
@@ -28,11 +31,26 @@ class Histogram
      */
     Histogram(double lo, double hi, std::size_t bins);
 
-    /** Adds a sample; values outside [lo, hi] clamp to the edge bins. */
+    /**
+     * Adds a sample.  Values outside [lo, hi] clamp into the edge bins
+     * (so render() still shows them), but are *also* counted separately
+     * — clampedLow()/clampedHigh() — and quantile() pins their mass to
+     * the exact range edges instead of interpolating inside the edge
+     * bins, so saturation cannot silently distort exported quantiles.
+     */
     void add(double value);
+
+    /** Adds @p n samples of @p value (bucketed aggregation). */
+    void addCount(double value, std::size_t n);
 
     /** Adds every sample of @p values. */
     void addAll(const std::vector<double> &values);
+
+    /**
+     * Adds every sample of @p other into this histogram.
+     * @pre Identical range and bin count.
+     */
+    void merge(const Histogram &other);
 
     /** Count in bin @p b. */
     std::size_t count(std::size_t b) const;
@@ -40,11 +58,24 @@ class Histogram
     /** Total samples added. */
     std::size_t total() const { return total_; }
 
+    /** Samples below lo that clamped into the first bin. */
+    std::size_t clampedLow() const { return clampedLow_; }
+
+    /** Samples above hi that clamped into the last bin. */
+    std::size_t clampedHigh() const { return clampedHigh_; }
+
     /** Number of bins. */
     std::size_t bins() const { return counts.size(); }
 
     /** Lower edge of bin @p b. */
     double binLow(std::size_t b) const;
+
+    /**
+     * The @p p quantile (p in [0, 1]) under a piecewise-uniform model:
+     * in-range samples spread evenly inside their bin, clamped samples
+     * sit exactly at lo/hi.  @pre total() > 0.
+     */
+    double quantile(double p) const;
 
     /**
      * Renders one bar row per bin:
@@ -64,6 +95,8 @@ class Histogram
     double hi_;
     std::vector<std::size_t> counts;
     std::size_t total_ = 0;
+    std::size_t clampedLow_ = 0;
+    std::size_t clampedHigh_ = 0;
 };
 
 /** Histogram spanning exactly the range of @p values. */

@@ -1,0 +1,279 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace repro::util {
+
+namespace {
+
+[[noreturn]] void
+parseError(const std::string &what, std::size_t at)
+{
+    throw std::runtime_error("JSON parse error at offset " +
+                             std::to_string(at) + ": " + what);
+}
+
+} // namespace
+
+/** Recursive-descent parser over the whole document string. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue v = parseValue();
+        skipWhitespace();
+        if (pos_ != text_.size())
+            parseError("trailing characters after document", pos_);
+        return v;
+    }
+
+  private:
+    void
+    skipWhitespace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWhitespace();
+        if (pos_ >= text_.size())
+            parseError("unexpected end of input", pos_);
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            parseError(std::string("expected '") + c + "', got '" +
+                           text_[pos_] + "'",
+                       pos_);
+        ++pos_;
+    }
+
+    bool
+    consumeIf(char c)
+    {
+        if (pos_ < text_.size() && peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expectLiteral(const std::string &word)
+    {
+        if (text_.compare(pos_, word.size(), word) != 0)
+            parseError("expected '" + word + "'", pos_);
+        pos_ += word.size();
+    }
+
+    JsonValue
+    parseValue()
+    {
+        const char c = peek();
+        JsonValue v;
+        switch (c) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"':
+            v.kind_ = JsonValue::Kind::String;
+            v.string_ = parseString();
+            return v;
+          case 't':
+            expectLiteral("true");
+            v.kind_ = JsonValue::Kind::Bool;
+            v.bool_ = true;
+            return v;
+          case 'f':
+            expectLiteral("false");
+            v.kind_ = JsonValue::Kind::Bool;
+            v.bool_ = false;
+            return v;
+          case 'n':
+            expectLiteral("null");
+            return v;
+          default: return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Object;
+        if (consumeIf('}'))
+            return v;
+        for (;;) {
+            if (peek() != '"')
+                parseError("expected object key string", pos_);
+            std::string key = parseString();
+            expect(':');
+            v.object_.emplace(std::move(key), parseValue());
+            if (consumeIf('}'))
+                return v;
+            expect(',');
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Array;
+        if (consumeIf(']'))
+            return v;
+        for (;;) {
+            v.array_.push_back(parseValue());
+            if (consumeIf(']'))
+                return v;
+            expect(',');
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    parseError("truncated \\u escape", pos_);
+                const unsigned long cp =
+                    std::strtoul(text_.substr(pos_, 4).c_str(), nullptr,
+                                 16);
+                pos_ += 4;
+                // Latin-1 subset only — enough for our own artifacts.
+                if (cp > 0xFF)
+                    parseError("\\u escape beyond Latin-1 unsupported",
+                               pos_ - 4);
+                out += static_cast<char>(cp);
+                break;
+              }
+              default:
+                parseError(std::string("bad escape '\\") + esc + "'",
+                           pos_ - 1);
+            }
+        }
+        parseError("unterminated string", pos_);
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        skipWhitespace();
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        const double value = std::strtod(start, &end);
+        if (end == start)
+            parseError("expected a value", pos_);
+        pos_ += static_cast<std::size_t>(end - start);
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Number;
+        v.number_ = value;
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+JsonValue
+JsonValue::parse(const std::string &text)
+{
+    return JsonParser(text).parseDocument();
+}
+
+JsonValue
+JsonValue::parseFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        throw std::runtime_error("cannot read " + path);
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    return parse(buffer.str());
+}
+
+bool
+JsonValue::asBool() const
+{
+    REPRO_ASSERT(isBool(), "JSON value is not a bool");
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    REPRO_ASSERT(isNumber(), "JSON value is not a number");
+    return number_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    REPRO_ASSERT(isString(), "JSON value is not a string");
+    return string_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::array() const
+{
+    REPRO_ASSERT(isArray(), "JSON value is not an array");
+    return array_;
+}
+
+const std::map<std::string, JsonValue> &
+JsonValue::object() const
+{
+    REPRO_ASSERT(isObject(), "JSON value is not an object");
+    return object_;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (!isObject())
+        return nullptr;
+    const auto it = object_.find(key);
+    return it == object_.end() ? nullptr : &it->second;
+}
+
+} // namespace repro::util

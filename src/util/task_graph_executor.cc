@@ -3,9 +3,36 @@
 #include <limits>
 #include <utility>
 
+#include "metrics/metrics.h"
 #include "util/log.h"
 
 namespace repro::util {
+
+namespace {
+
+/** Always-on executor telemetry (metrics/metrics.h). */
+struct ExecutorMetrics
+{
+    metrics::Counter &nodesAdded;
+    metrics::Counter &nodesRun;       //!< Bodies actually executed.
+    metrics::Counter &nodesFailed;    //!< Bodies that threw.
+    metrics::Counter &nodesCancelled; //!< Skipped after a failure.
+    metrics::Gauge &readyDepth;       //!< Nodes ready but not dispatched.
+};
+
+ExecutorMetrics &
+executorMetrics()
+{
+    auto &reg = metrics::MetricsRegistry::global();
+    static ExecutorMetrics m{reg.counter("executor.nodes_added"),
+                             reg.counter("executor.nodes_run"),
+                             reg.counter("executor.nodes_failed"),
+                             reg.counter("executor.nodes_cancelled"),
+                             reg.gauge("executor.ready_depth")};
+    return m;
+}
+
+} // namespace
 
 TaskGraphExecutor::TaskGraphExecutor(ThreadPool &pool,
                                      unsigned max_concurrency)
@@ -39,8 +66,11 @@ TaskGraphExecutor::add(std::function<void()> fn,
             ++node.pending;
         }
     }
-    if (node.pending == 0)
+    executorMetrics().nodesAdded.inc();
+    if (node.pending == 0) {
         ready_.push_back(id);
+        executorMetrics().readyDepth.add(1);
+    }
     dispatchLocked(lock);
     return id;
 }
@@ -53,6 +83,7 @@ TaskGraphExecutor::dispatchLocked(std::unique_lock<std::mutex> &lock)
     while (running_ < cap && !ready_.empty()) {
         const NodeId id = ready_.front();
         ready_.pop_front();
+        executorMetrics().readyDepth.sub(1);
         ++running_;
         // detach() may run the node inline on a stopped pool; the node
         // re-locks, so the lock must be dropped around the handoff.
@@ -79,6 +110,11 @@ TaskGraphExecutor::runNode(NodeId id)
         } catch (...) {
             err = std::current_exception();
         }
+        executorMetrics().nodesRun.inc();
+        if (err)
+            executorMetrics().nodesFailed.inc();
+    } else {
+        executorMetrics().nodesCancelled.inc();
     }
 
     std::unique_lock<std::mutex> lock(mutex_);
@@ -88,8 +124,10 @@ TaskGraphExecutor::runNode(NodeId id)
     node.finished = true;
     node.fn = nullptr;
     for (const NodeId succ : node.successors) {
-        if (--nodes_[succ].pending == 0)
+        if (--nodes_[succ].pending == 0) {
             ready_.push_back(succ);
+            executorMetrics().readyDepth.add(1);
+        }
     }
     node.successors.clear();
     --running_;

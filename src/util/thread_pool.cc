@@ -4,11 +4,45 @@
 #include <atomic>
 #include <memory>
 
+#include "metrics/metrics.h"
 #include "util/log.h"
 
 namespace repro::util {
 
 namespace {
+
+/**
+ * Always-on pool telemetry (metrics/metrics.h).  Resolved once; the
+ * steady-state cost per event is one relaxed fetch_add on a
+ * thread-private shard.
+ */
+struct PoolMetrics
+{
+    metrics::Counter &enqueued;      //!< Tasks queued to workers.
+    metrics::Counter &executed;      //!< Tasks a worker dequeued and ran.
+    metrics::Counter &rejected;      //!< Enqueues refused while stopping
+                                     //!< (the caller runs these inline).
+    metrics::Counter &forCalls;      //!< parallelFor invocations.
+    metrics::Counter &grainsClaimed; //!< Iteration grains claimed from
+                                     //!< the shared counter.
+    metrics::Gauge &queueDepth;      //!< Tasks currently queued.
+    metrics::LatencyHistogram &joinWait; //!< Caller wait at the
+                                         //!< parallelFor join.
+};
+
+PoolMetrics &
+poolMetrics()
+{
+    auto &reg = metrics::MetricsRegistry::global();
+    static PoolMetrics m{reg.counter("pool.tasks_enqueued"),
+                         reg.counter("pool.tasks_executed"),
+                         reg.counter("pool.tasks_rejected"),
+                         reg.counter("pool.parallel_for_calls"),
+                         reg.counter("pool.grains_claimed"),
+                         reg.gauge("pool.queue_depth"),
+                         reg.histogram("pool.join_wait_seconds")};
+    return m;
+}
 
 /**
  * Shared state of one parallelFor call.  Helpers hold it by
@@ -53,6 +87,7 @@ drain(const std::shared_ptr<ForState> &st)
     for (std::size_t begin = st->next.fetch_add(grain); begin < n;
          begin = st->next.fetch_add(grain)) {
         const std::size_t end = std::min(begin + grain, n);
+        poolMetrics().grainsClaimed.inc();
         std::exception_ptr err;
         try {
             // A grain claimed before the failure was published still
@@ -129,10 +164,14 @@ ThreadPool::enqueue(std::function<void()> task)
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        if (stopping_)
+        if (stopping_) {
+            poolMetrics().rejected.inc();
             return false;
+        }
         queue_.push_back(std::move(task));
     }
+    poolMetrics().enqueued.inc();
+    poolMetrics().queueDepth.add(1);
     available_.notify_one();
     return true;
 }
@@ -168,6 +207,8 @@ ThreadPool::workerLoop(unsigned worker)
             queue_.pop_front();
             prof = profiler_;
         }
+        poolMetrics().queueDepth.sub(1);
+        poolMetrics().executed.inc();
         if (prof) {
             const Clock::time_point start = Clock::now();
             prof->onTaskBegin(worker, start);
@@ -189,6 +230,7 @@ ThreadPool::parallelFor(std::size_t n,
         *caller_wait_seconds = 0.0;
     if (n == 0)
         return;
+    poolMetrics().forCalls.inc();
     if (n == 1) {
         body(0);
         return;
@@ -218,16 +260,20 @@ ThreadPool::parallelFor(std::size_t n,
 
     // Anything from here to the predicate passing is join wait: the
     // caller has no iterations left and is blocked on helpers.
+    const bool time_join = caller_wait_seconds || metrics::enabled();
     const Clock::time_point join_start =
-        caller_wait_seconds ? Clock::now() : Clock::time_point{};
+        time_join ? Clock::now() : Clock::time_point{};
     std::unique_lock<std::mutex> lock(st->mutex);
     st->done.wait(lock, [&] {
         return st->completed.load() >= st->target.load();
     });
-    if (caller_wait_seconds) {
-        *caller_wait_seconds =
+    if (time_join) {
+        const double waited =
             std::chrono::duration<double>(Clock::now() - join_start)
                 .count();
+        if (caller_wait_seconds)
+            *caller_wait_seconds = waited;
+        poolMetrics().joinWait.observe(waited);
     }
     if (st->error)
         std::rethrow_exception(st->error);

@@ -86,9 +86,89 @@ TEST(Histogram, HistogramOfConstantData)
     EXPECT_EQ(h.count(0), 3u);
 }
 
+TEST(Histogram, ClampedSamplesCountedSeparately)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-5.0); // Below range: edge bin, counted as clamped.
+    h.add(7.0);  // Above range: edge bin, counted as clamped.
+    h.add(0.5);
+    h.add(1.0); // Exactly hi is in range (last bin), not clamped.
+    EXPECT_EQ(h.clampedLow(), 1u);
+    EXPECT_EQ(h.clampedHigh(), 1u);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(3), 2u);
+}
+
+TEST(Histogram, AddCountBulk)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.addCount(0.5, 10);
+    h.addCount(3.5, 30);
+    EXPECT_EQ(h.count(0), 10u);
+    EXPECT_EQ(h.count(3), 30u);
+    EXPECT_EQ(h.total(), 40u);
+}
+
+TEST(Histogram, MergeAddsCounts)
+{
+    Histogram a(0.0, 1.0, 4);
+    Histogram b(0.0, 1.0, 4);
+    a.add(0.1);
+    a.add(-1.0);
+    b.add(0.1);
+    b.add(0.9);
+    b.add(2.0);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 5u);
+    EXPECT_EQ(a.count(0), 3u); // 2 in-range + 1 clamped low.
+    EXPECT_EQ(a.count(3), 2u); // 1 in-range + 1 clamped high.
+    EXPECT_EQ(a.clampedLow(), 1u);
+    EXPECT_EQ(a.clampedHigh(), 1u);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBins)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.addCount(0.5, 50); // Bin [0, 1).
+    h.addCount(9.5, 50); // Bin [9, 10).
+    // Median falls on the boundary between the two masses.
+    EXPECT_GE(h.quantile(0.5), 1.0 - 1e-9);
+    EXPECT_LE(h.quantile(0.5), 9.0 + 1e-9);
+    // p=0.25 is halfway into the first bin's mass.
+    EXPECT_NEAR(h.quantile(0.25), 0.5, 1e-9);
+    EXPECT_NEAR(h.quantile(0.0), 0.0, 1e-9);
+    EXPECT_NEAR(h.quantile(1.0), 10.0, 1e-9);
+    EXPECT_LE(h.quantile(0.2), h.quantile(0.8));
+}
+
+TEST(Histogram, QuantilePinsClampedMassToEdges)
+{
+    Histogram h(0.0, 1.0, 4);
+    for (int i = 0; i < 10; ++i)
+        h.add(-5.0); // All mass clamped low.
+    h.add(0.5);
+    // 10 of 11 samples sit at exactly lo, not spread over bin 0.
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+    EXPECT_GT(h.quantile(0.99), 0.0);
+}
+
 TEST(HistogramDeathTest, EmptyRangePanics)
 {
     EXPECT_DEATH(Histogram(1.0, 1.0, 4), "non-empty");
+}
+
+TEST(HistogramDeathTest, MergeShapeMismatchPanics)
+{
+    Histogram a(0.0, 1.0, 4);
+    Histogram b(0.0, 2.0, 4);
+    EXPECT_DEATH(a.merge(b), "shape");
+}
+
+TEST(HistogramDeathTest, QuantileOfEmptyPanics)
+{
+    Histogram h(0.0, 1.0, 4);
+    EXPECT_DEATH(h.quantile(0.5), "empty");
 }
 
 } // namespace
