@@ -100,6 +100,30 @@ load(const std::string &path)
     return snap;
 }
 
+/**
+ * Synthesizes the derived state-sharing ratio when the snapshot
+ * carries the copy-on-write state counters:
+ * blocks_copied / (blocks_copied + blocks_shared) — the fraction of
+ * clone-and-write traffic that physically moved blocks (lower is
+ * better; 1.0 is the deep-copy regime).  Placed among the counters so
+ * the regression gate applies: a grown ratio means speculative
+ * versions stopped sharing, which is a perf regression even when the
+ * raw counters moved with workload size.
+ */
+void
+addDerivedRatios(FlatSnapshot &snap)
+{
+    const auto copied = snap.counters.find("state.blocks_copied");
+    const auto shared = snap.counters.find("state.blocks_shared");
+    if (copied == snap.counters.end() || shared == snap.counters.end())
+        return;
+    const double total = copied->second + shared->second;
+    if (total <= 0.0)
+        return;
+    snap.counters.emplace("state.sharing_ratio",
+                          copied->second / total);
+}
+
 /** Relative growth of @p now over @p then; 0 when both are zero. */
 double
 relativeDelta(double then, double now)
@@ -134,10 +158,18 @@ main(int argc, char **argv)
         cli.getBool("fail-on-regression", false);
     const bool csv = cli.getBool("csv", false);
 
-    const FlatSnapshot before = load(positional[0]);
-    const FlatSnapshot after = load(positional[1]);
+    FlatSnapshot before = load(positional[0]);
+    FlatSnapshot after = load(positional[1]);
+    addDerivedRatios(before);
+    addDerivedRatios(after);
 
     Table table({"metric", "old", "new", "delta", "flag"});
+    // Counters are integral, but derived ratios are fractional — keep
+    // their digits instead of rounding them to 0 or 1.
+    const auto formatValue = [](double v) {
+        return v == std::floor(v) ? formatDouble(v, 0)
+                                  : formatDouble(v, 4);
+    };
     std::vector<std::string> regressions;
     const auto diffSection =
         [&](const std::map<std::string, double> &olds,
@@ -158,8 +190,8 @@ main(int argc, char **argv)
                     (std::isinf(delta) || delta > threshold);
                 if (regressed)
                     regressions.push_back(name);
-                table.addRow({name, formatDouble(then, 0),
-                              formatDouble(now, 0), formatDelta(delta),
+                table.addRow({name, formatValue(then), formatValue(now),
+                              formatDelta(delta),
                               regressed ? "REGRESSION" : ""});
             }
         };

@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/engine.h"
+#include "core/versioned_state.h"
 #include "perfmodel/branch.h"
 #include "perfmodel/cache.h"
 #include "platform/des.h"
@@ -119,6 +120,87 @@ BM_StateCopyModel(benchmark::State &state)
     benchmark::DoNotOptimize(acc);
 }
 BENCHMARK(BM_StateCopyModel)->Arg(24)->Arg(8000)->Arg(500000);
+
+// ---- State versioning primitives at the Table I payload sizes ------
+// 104 B = streamcluster, 8 KB = facedet/facetrack, ~500 KB = bodytrack.
+// Arg 0 is the payload size; arg 1 selects Deep (0) or CopyOnWrite (1).
+
+void
+BM_StateClone(benchmark::State &state)
+{
+    const core::ScopedStateVersioning guard(
+        state.range(1) ? core::StateVersioning::CopyOnWrite
+                       : core::StateVersioning::Deep);
+    const core::VersionedBuffer src(
+        static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        const core::VersionedBuffer copy(src);
+        benchmark::DoNotOptimize(copy.creationStats().blocksShared);
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StateClone)
+    ->ArgNames({"bytes", "cow"})
+    ->Args({104, 0})
+    ->Args({104, 1})
+    ->Args({8000, 0})
+    ->Args({8000, 1})
+    ->Args({500000, 0})
+    ->Args({500000, 1});
+
+void
+BM_StateCompare(benchmark::State &state)
+{
+    // Under CoW the clone physically shares every block, so the
+    // comparison is pure pointer equality; under Deep every byte is
+    // scanned through the word-at-a-time kernel.
+    const core::ScopedStateVersioning guard(
+        state.range(1) ? core::StateVersioning::CopyOnWrite
+                       : core::StateVersioning::Deep);
+    core::VersionedBuffer a(static_cast<std::size_t>(state.range(0)));
+    const std::size_t doubles =
+        static_cast<std::size_t>(state.range(0)) / sizeof(double);
+    util::Rng rng(6);
+    for (std::size_t i = 0; i < doubles; ++i)
+        a.set<double>(i, rng.uniform());
+    const core::VersionedBuffer b(a);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            core::VersionedBuffer::contentEquals(a, b));
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StateCompare)
+    ->ArgNames({"bytes", "cow"})
+    ->Args({104, 0})
+    ->Args({104, 1})
+    ->Args({8000, 0})
+    ->Args({8000, 1})
+    ->Args({500000, 0})
+    ->Args({500000, 1});
+
+void
+BM_StateContentHash(benchmark::State &state)
+{
+    // Arg 1 dirties one block per iteration: the incremental-validation
+    // case where only the touched block re-hashes (vs the cached case,
+    // which re-combines fingerprints without touching payload bytes).
+    core::VersionedBuffer buf(static_cast<std::size_t>(state.range(0)));
+    double v = 0.0;
+    for (auto _ : state) {
+        if (state.range(1))
+            buf.set<double>(0, v += 1.0);
+        benchmark::DoNotOptimize(buf.contentHash());
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StateContentHash)
+    ->ArgNames({"bytes", "dirty"})
+    ->Args({104, 0})
+    ->Args({104, 1})
+    ->Args({8000, 0})
+    ->Args({8000, 1})
+    ->Args({500000, 0})
+    ->Args({500000, 1});
 
 void
 BM_SwaptionsUpdate(benchmark::State &state)

@@ -31,6 +31,7 @@
  *   --threads=<n>      parallelism cap, 0 = hardware (default 4)
  *   --repeats=<n>      timed runs, best taken        (default 5)
  *   --pipeline=<mode>  on | off | both               (default both)
+ *   --versioning=<m>   deep | cow | both             (default both)
  *   --out=<path>       write the JSON here           (default BENCH_native_overheads.json)
  *   --trace=<path>     dump the last mode's measured run as a Chrome trace
  *   --metrics=<on|off> always-on metrics collection  (default on)
@@ -41,12 +42,24 @@
  * collection on and off (interleaved, best of repeats) and the ratio
  * is reported as "metrics_overhead_fraction" — the acceptance bound
  * is < 2%.
+ *
+ * The harness also prices the state-versioning layer the same way:
+ * under --versioning=both (the default) the first protocol's run is
+ * repeated under StateVersioning::Deep and ::CopyOnWrite and the §V-B
+ * state-copy / state-comparison busy seconds, plus the state.*
+ * counter deltas, are reported side by side ("state_versioning" in
+ * the JSON).  Outputs must be bit-identical across modes — the knob
+ * only changes how state bytes are stored and checked, never what
+ * they contain.  --versioning=deep|cow instead pins the whole bench
+ * to one mode.
  */
 
 #include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -55,6 +68,7 @@
 #include "analysis/overheads.h"
 #include "bench/bench_common.h"
 #include "core/native_runtime.h"
+#include "core/versioned_state.h"
 #include "metrics/metrics.h"
 #include "platform/machine.h"
 #include "platform/measured.h"
@@ -143,6 +157,26 @@ struct ModeReport
     }
 };
 
+/** The state.* counters the versioning A/B reports as deltas. */
+constexpr const char *kStateCounterNames[] = {
+    "state.blocks_shared",          "state.blocks_copied",
+    "state.bytes_copied",           "state.blocks_swapped",
+    "state.validation_blocks_compared",
+    "state.validation_blocks_skipped",
+    "state.validation_blocks_hashed",
+};
+
+/** One StateVersioning mode of the A/B probe, fully characterized. */
+struct VersioningReport
+{
+    core::StateVersioning mode = core::StateVersioning::Deep;
+    double statsSeconds = 0.0;        //!< Best-of unrecorded runs.
+    double stateCopySeconds = 0.0;    //!< §V-B state-copy busy time.
+    double stateCompareSeconds = 0.0; //!< §V-B state-comparison busy time.
+    NativeRuntime::Result result;
+    std::map<std::string, double> counterDeltas;
+};
+
 } // namespace
 
 int
@@ -157,10 +191,24 @@ main(int argc, char **argv)
     const int repeats =
         std::max(1, static_cast<int>(cli.getInt("repeats", 5)));
     const std::string pipeline_mode = cli.getString("pipeline", "both");
+    const std::string versioning_mode =
+        cli.getString("versioning", "both");
     const std::string out_path =
         cli.getString("out", "BENCH_native_overheads.json");
     const std::string trace_path = cli.getString("trace", "");
     const bench::MetricsScope metrics_scope(opt);
+
+    // --versioning=deep|cow pins every run in this process to one
+    // clone discipline; "both" leaves the default (cow) for the main
+    // characterization and adds the A/B probe section below.
+    std::optional<core::ScopedStateVersioning> pinned_versioning;
+    if (versioning_mode == "deep")
+        pinned_versioning.emplace(core::StateVersioning::Deep);
+    else if (versioning_mode == "cow")
+        pinned_versioning.emplace(core::StateVersioning::CopyOnWrite);
+    else if (versioning_mode != "both")
+        util::fatal("unknown --versioning mode: " + versioning_mode +
+                    " (expected deep, cow, or both)");
 
     std::vector<CommitProtocol> protocols;
     if (pipeline_mode == "both")
@@ -298,6 +346,69 @@ main(int argc, char **argv)
             off_seconds > 0.0 ? on_seconds / off_seconds - 1.0 : 0.0;
     }
 
+    // A/B-price the state-versioning layer on the first protocol:
+    // best-of-repeats timings per StateVersioning mode, recorded
+    // replays for the §V-B state-copy / state-comparison busy-time
+    // split (best of repeats per category — single recordings are
+    // noisy on a shared host), and the state.* counter deltas
+    // attributed to each mode.  Deep runs first so its clones cannot
+    // warm any block-level cache for cow.
+    std::vector<VersioningReport> vmodes;
+    bool versioning_identical = true;
+    if (versioning_mode == "both") {
+        auto &reg = metrics::MetricsRegistry::global();
+        const NativeRuntime ab_rt(threads, protocols.front());
+        for (const core::StateVersioning sv :
+             {core::StateVersioning::Deep,
+              core::StateVersioning::CopyOnWrite}) {
+            const core::ScopedStateVersioning guard(sv);
+            VersioningReport rep;
+            rep.mode = sv;
+            std::map<std::string, double> before;
+            for (const char *name : kStateCounterNames)
+                before[name] =
+                    static_cast<double>(reg.counter(name).value());
+            rep.statsSeconds = std::numeric_limits<double>::infinity();
+            for (int r = 0; r < repeats; ++r) {
+                rep.result = ab_rt.run(model, config, opt.seed);
+                rep.statsSeconds =
+                    std::min(rep.statsSeconds, rep.result.wallSeconds);
+            }
+            rep.stateCopySeconds =
+                std::numeric_limits<double>::infinity();
+            rep.stateCompareSeconds =
+                std::numeric_limits<double>::infinity();
+            for (int r = 0; r < repeats; ++r) {
+                trace::MeasuredTraceRecorder recorder;
+                ab_rt.run(model, config, opt.seed, &recorder);
+                const trace::MeasuredTrace mt = recorder.finish();
+                const platform::Schedule sched =
+                    platform::measuredSchedule(mt);
+                rep.stateCopySeconds = std::min(
+                    rep.stateCopySeconds,
+                    sched.busyByKind[static_cast<std::size_t>(
+                        trace::TaskKind::StateCopy)] *
+                        1e-6);
+                rep.stateCompareSeconds = std::min(
+                    rep.stateCompareSeconds,
+                    sched.busyByKind[static_cast<std::size_t>(
+                        trace::TaskKind::StateCompare)] *
+                        1e-6);
+            }
+            for (const char *name : kStateCounterNames)
+                rep.counterDeltas[name] =
+                    static_cast<double>(reg.counter(name).value()) -
+                    before[name];
+            vmodes.push_back(std::move(rep));
+        }
+        versioning_identical =
+            sameResult(vmodes.front().result, vmodes.back().result);
+        if (!versioning_identical) {
+            REPRO_LOG_WARN("state versioning modes disagree on results "
+                           "— copy-on-write bug");
+        }
+    }
+
     // DES prediction of the same (workload, config, seed) for the
     // side-by-side comparison.
     const core::Engine engine;
@@ -375,6 +486,32 @@ main(int argc, char **argv)
                   << formatDouble(on_seconds * 1e3, 2) << " ms on vs "
                   << formatDouble(off_seconds * 1e3, 2) << " ms off)\n";
     }
+    if (!vmodes.empty()) {
+        Table vt({"versioning", "stats ms", "state-copy s",
+                  "state-compare s", "bytes copied", "blocks shared",
+                  "blocks copied"});
+        for (const VersioningReport &rep : vmodes) {
+            vt.addRow(
+                {core::stateVersioningName(rep.mode),
+                 formatDouble(rep.statsSeconds * 1e3, 2),
+                 formatDouble(rep.stateCopySeconds, 6),
+                 formatDouble(rep.stateCompareSeconds, 6),
+                 formatDouble(
+                     rep.counterDeltas.at("state.bytes_copied"), 0),
+                 formatDouble(
+                     rep.counterDeltas.at("state.blocks_shared"), 0),
+                 formatDouble(
+                     rep.counterDeltas.at("state.blocks_copied"), 0)});
+        }
+        bench::emit(vt,
+                    std::string("State versioning A/B (") +
+                        core::commitProtocolName(protocols.front()) +
+                        " protocol, best of " +
+                        std::to_string(repeats) + ")",
+                    opt.csv);
+        std::cout << "versioning outputs identical: "
+                  << (versioning_identical ? "yes" : "NO") << "\n";
+    }
 
     std::ostringstream json;
     json << "{\n"
@@ -387,6 +524,7 @@ main(int argc, char **argv)
          << "  \"threads_exceed_cores\": "
          << (oversubscribed ? "true" : "false") << ",\n"
          << "  \"repeats\": " << repeats << ",\n"
+         << "  \"versioning\": \"" << versioning_mode << "\",\n"
          << "  \"host\": " << bench::hostMetadataJson() << ",\n"
          << "  \"sequential_seconds\": " << seq_seconds << ",\n"
          << "  \"metrics_overhead_fraction\": " << metrics_overhead
@@ -442,6 +580,34 @@ main(int argc, char **argv)
         json << "\n    }" << (m + 1 < modes.size() ? "," : "") << "\n";
     }
     json << "  },\n";
+    if (!vmodes.empty()) {
+        json << "  \"state_versioning\": {\n"
+             << "    \"protocol\": \""
+             << core::commitProtocolName(protocols.front()) << "\",\n"
+             << "    \"identical_outputs\": "
+             << (versioning_identical ? "true" : "false") << ",\n";
+        for (std::size_t v = 0; v < vmodes.size(); ++v) {
+            const VersioningReport &rep = vmodes[v];
+            json << "    \"" << core::stateVersioningName(rep.mode)
+                 << "\": {\n"
+                 << "      \"stats_seconds\": " << rep.statsSeconds
+                 << ",\n"
+                 << "      \"state_copy_seconds\": "
+                 << rep.stateCopySeconds << ",\n"
+                 << "      \"state_compare_seconds\": "
+                 << rep.stateCompareSeconds << ",\n"
+                 << "      \"counters\": {";
+            bool first = true;
+            for (const auto &[name, delta] : rep.counterDeltas) {
+                json << (first ? "" : ", ") << "\"" << name
+                     << "\": " << delta;
+                first = false;
+            }
+            json << "}\n    }" << (v + 1 < vmodes.size() ? "," : "")
+                 << "\n";
+        }
+        json << "  },\n";
+    }
     ladderJson(json, "  ", "des_model", des);
     json << ",\n  \"metrics\": " << bench::metricsSnapshotJson("  ")
          << "\n}\n";

@@ -41,6 +41,7 @@ class Emitter
     runSpan(State &state, std::size_t from, std::size_t to, TaskKind kind,
             util::Rng &rng, std::vector<double> *outs)
     {
+        const std::uint64_t copied_before = stateCopiedBytes(state);
         ExecContext ctx(rng, &r_.ops, kind);
         for (std::size_t i = from; i < to; ++i) {
             const double out = model_.update(state, i, ctx);
@@ -48,6 +49,14 @@ class Emitter
                 (*outs)[i] = out;
         }
         rng = ctx.rng(); // The caller's stream advances with the span.
+        // Copy-on-write defers clone cost into the first writes of the
+        // consuming span; charge those materialization copies back to
+        // the state-copy category so §V-B stays honest (zero under
+        // Deep, where clones copy eagerly and copiedBytes() is 0).
+        const std::uint64_t copied_delta =
+            stateCopiedBytes(state) - copied_before;
+        if (copied_delta > 0)
+            r_.ops.tick(TaskKind::StateCopy, copied_delta / 8);
         return ctx.localWork();
     }
 
@@ -68,26 +77,54 @@ class Emitter
     /**
      * Emits a state copy on @p thread whose payload was produced by task
      * @p payload_source (also added as a dependency).
+     *
+     * @param cloned The clone the task models, when available: its
+     *        CloneStats price the task by bytes actually moved (a
+     *        block-sharing clone costs refcount bumps, not a payload
+     *        copy).  Null falls back to the legacy full-size charge.
      */
     TaskId
-    emitCopy(ThreadId thread, std::int32_t chunk, TaskId payload_source)
+    emitCopy(ThreadId thread, std::int32_t chunk, TaskId payload_source,
+             const State *cloned = nullptr)
     {
-        r_.ops.tick(TaskKind::StateCopy, model_.copyWork());
-        const TaskId id =
-            r_.graph.addTask(TaskKind::StateCopy, thread, 0.0, chunk,
-                             model_.stateSizeBytes());
+        const CloneStats stats =
+            cloned ? stateCloneStats(*cloned, model_.stateSizeBytes())
+                   : fullCloneStats();
+        r_.ops.tick(TaskKind::StateCopy, model_.copyWork(stats));
+        // Memory traffic: moved payload bytes plus one header line per
+        // shared block (the refcount bump).
+        const std::size_t bytes = static_cast<std::size_t>(
+            stats.bytesCopied +
+            util::BlockArena::kHeaderBytes * stats.blocksShared);
+        const TaskId id = r_.graph.addTask(TaskKind::StateCopy, thread,
+                                           0.0, chunk, bytes);
         r_.graph.addDep(payload_source, id);
         r_.graph.mutableTask(id).payloadSource = payload_source;
         return id;
     }
 
-    /** Emits a speculative-vs-original state comparison on @p thread. */
-    TaskId
-    emitCompare(ThreadId thread, std::int32_t chunk)
+    /** CloneStats of a legacy eager deep copy of the full state. */
+    CloneStats
+    fullCloneStats() const
     {
-        r_.ops.tick(TaskKind::StateCompare, model_.compareWork());
-        return r_.graph.addTask(TaskKind::StateCompare, thread, 0.0, chunk,
-                                model_.stateSizeBytes());
+        CloneStats stats;
+        stats.blocksCopied =
+            (model_.stateSizeBytes() +
+             util::BlockArena::kDefaultBlockBytes - 1) /
+            util::BlockArena::kDefaultBlockBytes;
+        stats.bytesCopied = model_.stateSizeBytes();
+        return stats;
+    }
+
+    /** Emits a speculative-vs-original state comparison on @p thread,
+     *  priced by the bytes the comparison actually touched. */
+    TaskId
+    emitCompare(ThreadId thread, std::int32_t chunk, std::uint64_t work,
+                std::uint64_t bytes)
+    {
+        r_.ops.tick(TaskKind::StateCompare, work);
+        return r_.graph.addTask(TaskKind::StateCompare, thread, 0.0,
+                                chunk, static_cast<std::size_t>(bytes));
     }
 
     /**
@@ -372,7 +409,7 @@ Engine::runStats(const IStateModel &model, const RegionProfile &region,
             // First chunk: starts from the program's initial state.
             working = initial->clone();
             const TaskId start_copy =
-                emit.emitCopy(th, 0, initial_copy);
+                emit.emitCopy(th, 0, initial_copy, working.get());
             r.graph.addDep(prev, start_copy);
             prev = start_copy;
         } else {
@@ -389,14 +426,15 @@ Engine::runStats(const IStateModel &model, const RegionProfile &region,
 
             // Copy of the speculative state for the commit check
             // (paper Fig. 6) and the hand-off signal.
+            ce.specState = cold->clone();
             const TaskId spec_copy =
-                emit.emitCopy(th, static_cast<std::int32_t>(c), alt);
+                emit.emitCopy(th, static_cast<std::int32_t>(c), alt,
+                              ce.specState.get());
             ce.handoffSync =
                 emit.emitSync(th, static_cast<std::int32_t>(c));
             r.graph.addDep(spec_copy, ce.handoffSync);
             ce.hasHandoff = true;
 
-            ce.specState = cold->clone();
             working = std::move(cold);
             prev = ce.handoffSync;
         }
@@ -424,7 +462,8 @@ Engine::runStats(const IStateModel &model, const RegionProfile &region,
         if (needs_snapshot) {
             ce.snapshot = working->clone();
             ce.snapshotTask =
-                emit.emitCopy(th, static_cast<std::int32_t>(c), body_a);
+                emit.emitCopy(th, static_cast<std::int32_t>(c), body_a,
+                              ce.snapshot.get());
             prev = ce.snapshotTask;
 
             const double work_b =
@@ -479,11 +518,11 @@ Engine::runStats(const IStateModel &model, const RegionProfile &region,
             const TaskId wake_rep =
                 emit.emitSync(rth, static_cast<std::int32_t>(c));
             r.graph.addDep(cur.snapshotTask, wake_rep);
-            const TaskId start_copy = emit.emitCopy(
-                rth, static_cast<std::int32_t>(c), cur.snapshotTask);
-            r.graph.addDep(wake_rep, start_copy);
-
             StateHandle replica = cur.snapshot->clone();
+            const TaskId start_copy =
+                emit.emitCopy(rth, static_cast<std::int32_t>(c),
+                              cur.snapshotTask, replica.get());
+            r.graph.addDep(wake_rep, start_copy);
             util::Rng rep_rng = base.split(3000 + c * 128 + rep);
             const double rep_work = emit.runSpan(
                 *replica, snap_point, end[c], TaskKind::OriginalStateGen,
@@ -499,16 +538,28 @@ Engine::runStats(const IStateModel &model, const RegionProfile &region,
         // speculative state against each original state until a match.
         ChunkExec &next = chunks[c + 1];
         int match_index = -1;
-        const unsigned originals =
-            1 + static_cast<unsigned>(cur.replicaStates.size());
+        // Per-compare (work, bytes) prices, recorded *before* the
+        // corresponding matches() call: matches() warms the summary
+        // caches it reads, so pricing afterwards would always see warm
+        // sides and under-charge the first cold compare.
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> cmp_costs;
         if (force_all_commit) {
             match_index = 0;
+            cmp_costs.emplace_back(model.compareWork(),
+                                   model.stateSizeBytes());
         } else {
+            const auto record = [&](const State &orig) {
+                cmp_costs.emplace_back(
+                    model.compareWork(*next.specState, orig),
+                    model.compareBytes(*next.specState, orig));
+            };
+            record(*cur.finalState);
             if (model.matches(*next.specState, *cur.finalState)) {
                 match_index = 0;
             } else {
                 for (unsigned rep = 0; rep < cur.replicaStates.size();
                      ++rep) {
+                    record(*cur.replicaStates[rep]);
                     if (model.matches(*next.specState,
                                       *cur.replicaStates[rep])) {
                         match_index = static_cast<int>(rep) + 1;
@@ -518,13 +569,14 @@ Engine::runStats(const IStateModel &model, const RegionProfile &region,
             }
         }
         const unsigned compares_done =
-            match_index >= 0 ? static_cast<unsigned>(match_index) + 1
-                             : originals;
+            static_cast<unsigned>(cmp_costs.size());
 
         TaskId last_cmp = 0;
         for (unsigned cmp = 0; cmp < compares_done; ++cmp) {
             const TaskId cmp_task =
-                emit.emitCompare(th, static_cast<std::int32_t>(c));
+                emit.emitCompare(th, static_cast<std::int32_t>(c),
+                                 cmp_costs[cmp].first,
+                                 cmp_costs[cmp].second);
             if (cmp == 0) {
                 r.graph.addDep(cur.finalTask, cmp_task);
                 if (next.hasHandoff)
@@ -572,13 +624,13 @@ Engine::runStats(const IStateModel &model, const RegionProfile &region,
             for (unsigned j = 0; j + 1 < T; ++j)
                 helpers.push_back(helper_thread(c + 1, j));
 
-            const TaskId restart_copy = emit.emitCopy(
-                nth, static_cast<std::int32_t>(c + 1), cur.finalTask);
+            StateHandle redo = cur.finalState->clone();
+            const TaskId restart_copy =
+                emit.emitCopy(nth, static_cast<std::int32_t>(c + 1),
+                              cur.finalTask, redo.get());
             r.graph.addDep(verdict, restart_copy);
             // Thread program order already chains restart after the
             // speculative body of chunk c+1 on the same thread.
-
-            StateHandle redo = cur.finalState->clone();
             const bool needs_snapshot = c + 2 < C;
             const std::size_t redo_snap =
                 needs_snapshot
@@ -601,8 +653,9 @@ Engine::runStats(const IStateModel &model, const RegionProfile &region,
 
             if (needs_snapshot) {
                 nxt.snapshot = redo->clone();
-                nxt.snapshotTask = emit.emitCopy(
-                    nth, static_cast<std::int32_t>(c + 1), redo_last);
+                nxt.snapshotTask =
+                    emit.emitCopy(nth, static_cast<std::int32_t>(c + 1),
+                                  redo_last, nxt.snapshot.get());
                 const double redo_b = emit.runSpan(
                     *redo, redo_snap, end[c + 1], TaskKind::MispecReExec,
                     redo_rng, &r.outputs);

@@ -379,14 +379,19 @@ class RunImpl
   private:
     /** Clones @p source, charging the copy to the always-on metrics
      *  (count, bytes, latency).  All protocol state copies go through
-     *  here; the recorder's StateCopy tasks stay at the call sites. */
+     *  here; the recorder's StateCopy tasks stay at the call sites.
+     *  Block-state payloads report the bytes the clone actually moved
+     *  (zero for a pure block-sharing copy-on-write clone). */
     StateHandle
     cloneCounted(const State &source)
     {
         const metrics::ScopedTimer timer(ph_->stateCopy);
         met_.stateCopies.inc();
-        met_.stateCopyBytes.inc(stateBytes_);
-        return source.clone();
+        StateHandle copy = source.clone();
+        met_.stateCopyBytes.inc(
+            copy->payload() ? copy->payload()->creationStats().bytesCopied
+                            : stateBytes_);
+        return copy;
     }
 
     ThreadId

@@ -17,6 +17,8 @@
 
 namespace repro::core {
 
+class VersionedBuffer;
+
 /**
  * Base class of a workload's computational state.
  */
@@ -27,6 +29,16 @@ class State
 
     /** Deep copy of this state. */
     virtual std::unique_ptr<State> clone() const = 0;
+
+    /**
+     * The block-versioned payload backing this state, or null for
+     * legacy states whose clone() copies eagerly.  States that return
+     * a payload get zero-copy cloning under
+     * StateVersioning::CopyOnWrite and incremental commit validation
+     * (see core/versioned_state.h); the runtime uses it to price
+     * copies/compares by bytes actually moved.
+     */
+    virtual const VersionedBuffer *payload() const { return nullptr; }
 };
 
 /** Owning handle to a computational state. */

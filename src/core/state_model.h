@@ -23,6 +23,7 @@
 #include <string>
 
 #include "core/state.h"
+#include "core/versioned_state.h"
 #include "trace/op_counter.h"
 #include "util/rng.h"
 
@@ -140,6 +141,42 @@ class IStateModel
     copyWork() const
     {
         return stateSizeBytes() / 8 + 16;
+    }
+
+    /**
+     * Bytes one comparison of @p speculative against @p original
+     * actually touches, charged at stateSizeBytes()/2 per cold side so
+     * the cold+cold total equals the legacy flat compareWork() charge.
+     * Block-state workloads override it to account for summary caches
+     * warmed at chunk boundaries (a warm side contributes only its
+     * cached estimates, not the particle payload).
+     */
+    virtual std::uint64_t
+    compareBytes(const State &speculative, const State &original) const
+    {
+        (void)speculative;
+        (void)original;
+        return stateSizeBytes();
+    }
+
+    /** Dynamic operations the comparison priced by compareBytes()
+     *  costs (word-at-a-time scan of the touched bytes). */
+    virtual std::uint64_t
+    compareWork(const State &speculative, const State &original) const
+    {
+        return compareBytes(speculative, original) / 8 + 16;
+    }
+
+    /**
+     * Dynamic operations the clone described by @p stats cost: one
+     * word-copy per moved word plus a constant per shared block (the
+     * refcount bump).  Legacy deep-copy states report full-size
+     * CloneStats, reproducing the flat copyWork() charge.
+     */
+    virtual std::uint64_t
+    copyWork(const CloneStats &stats) const
+    {
+        return stats.bytesCopied / 8 + 2 * stats.blocksShared + 16;
     }
 };
 

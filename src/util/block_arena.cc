@@ -1,0 +1,145 @@
+#include "util/block_arena.h"
+
+#include <new>
+
+#include "util/log.h"
+
+namespace repro::util {
+
+namespace {
+
+constexpr std::size_t kCacheCap = 64; //!< Blocks per thread cache.
+
+/**
+ * Per-thread cache of free blocks of the *global* arena.  Pool workers
+ * materialize and release blocks at update frequency; bouncing every
+ * one through the central mutex would serialize the hot path.  The
+ * destructor flushes to the central list at thread exit — safe because
+ * the global arena is immortal.
+ */
+struct ThreadBlockCache
+{
+    BlockArena::Block *blocks[kCacheCap];
+    std::size_t count = 0;
+    BlockArena *owner = nullptr;
+
+    ~ThreadBlockCache();
+};
+
+ThreadBlockCache &
+threadCache()
+{
+    thread_local ThreadBlockCache cache;
+    return cache;
+}
+
+} // namespace
+
+BlockArena::BlockArena(std::size_t block_bytes) : blockBytes_(block_bytes)
+{
+    REPRO_ASSERT(block_bytes >= 8 &&
+                     (block_bytes & (block_bytes - 1)) == 0,
+                 "block size must be a power of two >= 8");
+    static_assert(sizeof(Block) <= kHeaderBytes,
+                  "block header must fit the reserved cache line");
+}
+
+BlockArena::~BlockArena()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (void *slab : slabs_)
+        ::operator delete(slab, std::align_val_t{kHeaderBytes});
+}
+
+BlockArena::Block *
+BlockArena::allocate()
+{
+    Block *b = nullptr;
+    if (threadCached_) {
+        ThreadBlockCache &cache = threadCache();
+        if (cache.owner == this && cache.count > 0)
+            b = cache.blocks[--cache.count];
+    }
+    if (!b)
+        b = popCentral();
+    if (!b) {
+        void *raw = ::operator new(kHeaderBytes + blockBytes_,
+                                   std::align_val_t{kHeaderBytes});
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            slabs_.push_back(raw);
+        }
+        allocated_.fetch_add(1, std::memory_order_relaxed);
+        b = new (raw) Block();
+    } else {
+        b->refs.store(1, std::memory_order_relaxed);
+        b->nextFree = nullptr;
+    }
+    b->invalidateHash();
+    live_.fetch_add(1, std::memory_order_relaxed);
+    return b;
+}
+
+void
+BlockArena::recycle(Block *b)
+{
+    live_.fetch_sub(1, std::memory_order_relaxed);
+    if (threadCached_) {
+        ThreadBlockCache &cache = threadCache();
+        if (cache.owner == nullptr)
+            cache.owner = this;
+        if (cache.owner == this && cache.count < kCacheCap) {
+            cache.blocks[cache.count++] = b;
+            return;
+        }
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    b->nextFree = freeList_;
+    freeList_ = b;
+}
+
+BlockArena::Block *
+BlockArena::popCentral()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Block *b = freeList_;
+    if (b)
+        freeList_ = b->nextFree;
+    return b;
+}
+
+BlockArena &
+BlockArena::global()
+{
+    // Leaked on purpose (immortal): thread caches flush here at thread
+    // exit, which may happen during static destruction.
+    static BlockArena *arena = [] {
+        auto *a = new BlockArena(kDefaultBlockBytes);
+        a->threadCached_ = true;
+        return a;
+    }();
+    return *arena;
+}
+
+void
+BlockArena::returnFreeBlocks(Block *const *blocks, std::size_t n)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < n; ++i) {
+        blocks[i]->nextFree = freeList_;
+        freeList_ = blocks[i];
+    }
+}
+
+namespace {
+
+ThreadBlockCache::~ThreadBlockCache()
+{
+    if (owner)
+        owner->returnFreeBlocks(blocks, count);
+    count = 0;
+}
+
+} // namespace
+
+} // namespace repro::util

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Refcounted fixed-size block arena: the allocation substrate of the
+ * copy-on-write state layer (core/versioned_state.h).
+ *
+ * State payloads are sliced into fixed-size blocks.  A speculative
+ * clone retains every block of its source (one atomic increment per
+ * block); a writer materializes a private block on first write.  The
+ * arena recycles released blocks through a free list, so the steady
+ * state of a STATS run — thousands of clone/write/release cycles per
+ * second across pool workers — allocates from the OS only during
+ * warm-up.
+ *
+ * Concurrency contract:
+ *  - retain/release are thread-safe (atomic refcount; the free list
+ *    takes a mutex, and the process-wide arena adds a per-thread block
+ *    cache in front of it so the hot path is lock-free).
+ *  - Block *data* carries the sharing discipline of the versioned
+ *    buffer: a block with more than one reference is immutable; only
+ *    the sole owner of a block may write it.  Concurrent readers of a
+ *    shared block are always safe.
+ *  - The cached per-block hash (header fields) may be computed and
+ *    published by concurrent readers; both write the same value.
+ */
+
+#ifndef REPRO_UTIL_BLOCK_ARENA_H
+#define REPRO_UTIL_BLOCK_ARENA_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace repro::util {
+
+/**
+ * A pool of refcounted blocks of one fixed (power-of-two) size.
+ */
+class BlockArena
+{
+  public:
+    /** Block payload size of the process-wide arena: one page. */
+    static constexpr std::size_t kDefaultBlockBytes = 4096;
+
+    /** Header bytes preceding each block's data (cache-line sized, so
+     *  refcount churn never false-shares with payload words). */
+    static constexpr std::size_t kHeaderBytes = 64;
+
+    /** One refcounted block.  Data lives at kHeaderBytes past the
+     *  header; the hash fields cache a blockops::hash64 fingerprint of
+     *  the current content (hashValid uses release/acquire so a reader
+     *  that sees it set also sees the matching hash). */
+    struct Block
+    {
+        std::atomic<std::uint32_t> refs{1};
+        std::atomic<std::uint64_t> hash{0};
+        std::atomic<bool> hashValid{false};
+        Block *nextFree = nullptr; //!< Free-list link (free blocks only).
+
+        std::byte *
+        data()
+        {
+            return reinterpret_cast<std::byte *>(this) + kHeaderBytes;
+        }
+
+        const std::byte *
+        data() const
+        {
+            return reinterpret_cast<const std::byte *>(this) +
+                   kHeaderBytes;
+        }
+
+        /** Publishes @p h as the cached content fingerprint. */
+        void
+        publishHash(std::uint64_t h)
+        {
+            hash.store(h, std::memory_order_relaxed);
+            hashValid.store(true, std::memory_order_release);
+        }
+
+        /** Reads the cached fingerprint into @p h; false when stale. */
+        bool
+        cachedHash(std::uint64_t &h) const
+        {
+            if (!hashValid.load(std::memory_order_acquire))
+                return false;
+            h = hash.load(std::memory_order_relaxed);
+            return true;
+        }
+
+        /** Drops the cached fingerprint (before mutating the data;
+         *  legal only for the block's sole owner). */
+        void
+        invalidateHash()
+        {
+            hashValid.store(false, std::memory_order_relaxed);
+        }
+    };
+
+    /** Arena of blocks holding @p block_bytes data each (power of 2). */
+    explicit BlockArena(std::size_t block_bytes = kDefaultBlockBytes);
+    ~BlockArena();
+
+    BlockArena(const BlockArena &) = delete;
+    BlockArena &operator=(const BlockArena &) = delete;
+
+    /** Data bytes per block. */
+    std::size_t blockBytes() const { return blockBytes_; }
+
+    /** A block with refs = 1, no cached hash, *uninitialized* data
+     *  (recycled blocks carry stale bytes; callers overwrite). */
+    Block *allocate();
+
+    /** Adds one reference to @p b. */
+    static void
+    retain(Block *b)
+    {
+        b->refs.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Drops one reference; the last drop recycles the block. */
+    void
+    release(Block *b)
+    {
+        if (b->refs.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            recycle(b);
+    }
+
+    /** Blocks currently referenced by live buffers (exact when no
+     *  allocate/release is concurrently in flight). */
+    std::size_t liveBlocks() const
+    {
+        return live_.load(std::memory_order_relaxed);
+    }
+
+    /** Blocks ever obtained from the OS (never shrinks). */
+    std::size_t allocatedBlocks() const
+    {
+        return allocated_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * The process-wide arena (page-sized blocks).  Immortal, like the
+     * metrics registry: worker threads flushing their block caches
+     * during thread exit must always find it alive.
+     */
+    static BlockArena &global();
+
+    /** @internal Bulk-returns cached free blocks to the central free
+     *  list (thread-cache flush at thread exit). */
+    void returnFreeBlocks(Block *const *blocks, std::size_t n);
+
+  private:
+    void recycle(Block *b);
+    Block *popCentral();
+
+    const std::size_t blockBytes_;
+    bool threadCached_ = false; //!< Only the global arena.
+
+    mutable std::mutex mutex_;
+    Block *freeList_ = nullptr;  //!< Guarded by mutex_.
+    std::vector<void *> slabs_;  //!< Guarded by mutex_.
+    std::atomic<std::size_t> live_{0};
+    std::atomic<std::size_t> allocated_{0};
+};
+
+} // namespace repro::util
+
+#endif // REPRO_UTIL_BLOCK_ARENA_H

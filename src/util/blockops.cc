@@ -1,0 +1,73 @@
+#include "util/blockops.h"
+
+#include <cstring>
+
+namespace repro::util::blockops {
+
+namespace {
+
+inline std::uint64_t
+loadWord(const unsigned char *p)
+{
+    std::uint64_t w;
+    std::memcpy(&w, p, sizeof(w));
+    return w;
+}
+
+} // namespace
+
+bool
+wordsEqual(const void *a, const void *b, std::size_t bytes)
+{
+    const auto *pa = static_cast<const unsigned char *>(a);
+    const auto *pb = static_cast<const unsigned char *>(b);
+    std::size_t i = 0;
+    // Four words per iteration, OR-folded so the loop body is a single
+    // branch the vectorizer widens to 256-bit compares.
+    for (; i + 32 <= bytes; i += 32) {
+        const std::uint64_t d = (loadWord(pa + i) ^ loadWord(pb + i)) |
+                                (loadWord(pa + i + 8) ^
+                                 loadWord(pb + i + 8)) |
+                                (loadWord(pa + i + 16) ^
+                                 loadWord(pb + i + 16)) |
+                                (loadWord(pa + i + 24) ^
+                                 loadWord(pb + i + 24));
+        if (d != 0)
+            return false;
+    }
+    for (; i + 8 <= bytes; i += 8) {
+        if (loadWord(pa + i) != loadWord(pb + i))
+            return false;
+    }
+    return bytes == i || std::memcmp(pa + i, pb + i, bytes - i) == 0;
+}
+
+std::uint64_t
+hash64(const void *data, std::size_t bytes, std::uint64_t seed)
+{
+    // wyhash-style multiply-xor: one 64-bit multiply per word keeps
+    // the loop pipelined; the finalizer (splitmix64) spreads low-bit
+    // differences over the whole fingerprint.
+    constexpr std::uint64_t kMul = 0x2545F4914F6CDD1Dull;
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint64_t h = seed ^ (static_cast<std::uint64_t>(bytes) * kMul);
+    std::size_t i = 0;
+    for (; i + 8 <= bytes; i += 8) {
+        h = (h ^ loadWord(p + i)) * kMul;
+        h ^= h >> 29;
+    }
+    if (i < bytes) {
+        std::uint64_t tail = 0;
+        std::memcpy(&tail, p + i, bytes - i);
+        h = (h ^ tail) * kMul;
+        h ^= h >> 29;
+    }
+    h ^= h >> 32;
+    h *= 0xD6E8FEB86659FD93ull;
+    h ^= h >> 32;
+    h *= 0xD6E8FEB86659FD93ull;
+    h ^= h >> 32;
+    return h;
+}
+
+} // namespace repro::util::blockops

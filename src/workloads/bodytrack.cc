@@ -29,7 +29,7 @@ BodytrackModel::initialState() const
         center[2 * j + 1] = (*truth_)[j].y;
     }
     s->cloud.collapseTo(center);
-    s->seeded = true;
+    s->setSeeded(true);
     return s;
 }
 
@@ -41,7 +41,7 @@ BodytrackModel::coldState() const
     // random guesses across the image).
     auto s = std::make_unique<BodytrackState>(p.particles, p.joints * 2);
     s->cloud.spreadUniform(0.0, p.arena);
-    s->seeded = false;
+    // Flags word starts at zero: not seeded.
     return s;
 }
 
@@ -54,19 +54,16 @@ BodytrackModel::update(core::State &state, std::size_t input,
     const Point2 *frame_truth = truth_->data() + input * p.joints;
     ParticleCloud &cloud = s.cloud;
 
-    if (!s.seeded) {
-        // Distribute guesses around the current image's measurements.
-        for (unsigned part = 0; part < cloud.particles(); ++part) {
-            for (unsigned j = 0; j < p.joints; ++j) {
-                cloud.coord(part, 2 * j) =
-                    frame_obs[j].x +
-                    ctx.rng().gaussian(0.0, p.seedSpread);
-                cloud.coord(part, 2 * j + 1) =
-                    frame_obs[j].y +
-                    ctx.rng().gaussian(0.0, p.seedSpread);
-            }
-        }
-        s.seeded = true;
+    if (!s.seeded()) {
+        // Distribute guesses around the current image's measurements
+        // (whole-block rewrite: a cold clone reseeds without copying
+        // the shared particle blocks it is about to discard).
+        cloud.overwriteCoords([&](unsigned, unsigned d) {
+            const Point2 &ob = frame_obs[d / 2];
+            return (d % 2 == 0 ? ob.x : ob.y) +
+                   ctx.rng().gaussian(0.0, p.seedSpread);
+        });
+        s.setSeeded(true);
     }
 
     cloud.propagate(ctx.rng(), p.propagateSigma);
@@ -122,9 +119,19 @@ BodytrackModel::matches(const core::State &spec,
 {
     const auto &a = static_cast<const BodytrackState &>(spec);
     const auto &b = static_cast<const BodytrackState &>(orig);
-    if (!a.seeded || !b.seeded)
+    if (!a.seeded() || !b.seeded())
         return false;
     return estimateDistance(a, b) <= p.matchTolerance;
+}
+
+std::uint64_t
+BodytrackModel::compareBytes(const core::State &spec,
+                             const core::State &orig) const
+{
+    return cloudCompareBytes(
+        static_cast<const BodytrackState &>(spec).cloud,
+        static_cast<const BodytrackState &>(orig).cloud,
+        stateSizeBytes());
 }
 
 std::size_t

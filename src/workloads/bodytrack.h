@@ -55,7 +55,23 @@ struct BodytrackState : core::TypedState<BodytrackState>
     }
 
     ParticleCloud cloud;
-    bool seeded = false; //!< False until guesses were distributed.
+
+    /** False until guesses were distributed (bit 0 of the cloud's
+     *  versioned flags word, so clones share it with the particles). */
+    bool seeded() const { return (cloud.flagsWord() & 1) != 0; }
+
+    void
+    setSeeded(bool s)
+    {
+        cloud.setFlagsWord(s ? (cloud.flagsWord() | 1)
+                             : (cloud.flagsWord() & ~std::uint64_t{1}));
+    }
+
+    const core::VersionedBuffer *
+    payload() const override
+    {
+        return &cloud.buffer();
+    }
 };
 
 /** The state dependence of bodytrack. */
@@ -80,6 +96,8 @@ class BodytrackModel : public core::IStateModel
     bool matches(const core::State &spec,
                  const core::State &orig) const override;
     std::size_t stateSizeBytes() const override;
+    std::uint64_t compareBytes(const core::State &spec,
+                               const core::State &orig) const override;
 
     /** Mean per-joint estimate distance between two states. */
     double estimateDistance(const BodytrackState &a,

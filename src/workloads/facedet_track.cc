@@ -26,7 +26,7 @@ FacedetTrackModel::initialState() const
 {
     auto s = std::make_unique<FacedetTrackState>(p.particles);
     s->cloud.collapseTo({(*truth_)[0], (*truth_)[1], (*truth_)[2]});
-    s->seeded = true;
+    s->setSeeded(true);
     return s;
 }
 
@@ -35,7 +35,7 @@ FacedetTrackModel::coldState() const
 {
     auto s = std::make_unique<FacedetTrackState>(p.particles);
     s->cloud.spreadUniform(0.0, p.arena);
-    s->seeded = false;
+    // Flags word starts at zero: not seeded.
     return s;
 }
 
@@ -50,41 +50,33 @@ FacedetTrackModel::update(core::State &state, std::size_t input,
 
     if (!(*occluded_)[input]) {
         // Detection fired: re-seed the particle set around it (the
-        // tracker trusts the detector when it works).
-        for (unsigned part = 0; part < cloud.particles(); ++part) {
-            cloud.coord(part, 0) =
-                ob[0] + ctx.rng().gaussian(0.0, 1.0);
-            cloud.coord(part, 1) =
-                ob[1] + ctx.rng().gaussian(0.0, 1.0);
-            cloud.coord(part, 2) =
-                ob[2] + ctx.rng().gaussian(0.0, 0.03);
-        }
-        s.seeded = true;
+        // tracker trusts the detector when it works).  The whole-block
+        // rewrite discards shared blocks without copying them, and the
+        // estimate computed below — after the frame's last mutation —
+        // leaves the cloud's mean cache warm for the commit check.
+        cloud.overwriteCoords([&](unsigned, unsigned d) {
+            return ob[d] +
+                   ctx.rng().gaussian(0.0, d == 2 ? 0.03 : 1.0);
+        });
+        s.setSeeded(true);
         ctx.tick(p.opsDetectFrame);
         const Point2 est{cloud.mean(0), cloud.mean(1)};
         return distance(est, {tr[0], tr[1]});
     }
 
     // Detector failed: full particle-filter step on the weak cue.
-    if (!s.seeded) {
-        for (unsigned part = 0; part < cloud.particles(); ++part) {
-            cloud.coord(part, 0) =
-                ob[0] + ctx.rng().gaussian(0.0, p.seedSpread);
-            cloud.coord(part, 1) =
-                ob[1] + ctx.rng().gaussian(0.0, p.seedSpread);
-            cloud.coord(part, 2) =
-                ob[2] + ctx.rng().gaussian(0.0, 0.05);
-        }
-        s.seeded = true;
+    if (!s.seeded()) {
+        cloud.overwriteCoords([&](unsigned, unsigned d) {
+            return ob[d] + ctx.rng().gaussian(
+                               0.0, d == 2 ? 0.05 : p.seedSpread);
+        });
+        s.setSeeded(true);
     }
 
-    for (unsigned part = 0; part < cloud.particles(); ++part) {
-        cloud.coord(part, 0) +=
-            ctx.rng().gaussian(0.0, p.propagateSigma);
-        cloud.coord(part, 1) +=
-            ctx.rng().gaussian(0.0, p.propagateSigma);
-        cloud.coord(part, 2) += ctx.rng().gaussian(0.0, 0.02);
-    }
+    cloud.transformCoords([&](unsigned, unsigned d, double c) {
+        return c +
+               ctx.rng().gaussian(0.0, d == 2 ? 0.02 : p.propagateSigma);
+    });
 
     const double inv2s2 =
         1.0 / (2.0 * p.likelihoodSigma * p.likelihoodSigma);
@@ -107,7 +99,7 @@ FacedetTrackModel::matches(const core::State &spec,
 {
     const auto &a = static_cast<const FacedetTrackState &>(spec);
     const auto &b = static_cast<const FacedetTrackState &>(orig);
-    if (!a.seeded || !b.seeded)
+    if (!a.seeded() || !b.seeded())
         return false;
     const Point2 ea{a.cloud.mean(0), a.cloud.mean(1)};
     const Point2 eb{b.cloud.mean(0), b.cloud.mean(1)};
@@ -118,6 +110,16 @@ std::size_t
 FacedetTrackModel::stateSizeBytes() const
 {
     return static_cast<std::size_t>(p.particles) * (3 * 8 + 8);
+}
+
+std::uint64_t
+FacedetTrackModel::compareBytes(const core::State &spec,
+                                const core::State &orig) const
+{
+    return cloudCompareBytes(
+        static_cast<const FacedetTrackState &>(spec).cloud,
+        static_cast<const FacedetTrackState &>(orig).cloud,
+        stateSizeBytes());
 }
 
 FacedetTrackWorkload::FacedetTrackWorkload(double scale)

@@ -47,7 +47,8 @@ struct FacedetTrackParams
     std::uint64_t dataSeed = 0xDE7EC7;
 };
 
-/** Particle set + seeding flag. */
+/** Particle set + seeding flag (bit 0 of the cloud's versioned flags
+ *  word, so clones share the whole state as blocks). */
 struct FacedetTrackState : core::TypedState<FacedetTrackState>
 {
     explicit FacedetTrackState(unsigned particles) : cloud(particles, 3)
@@ -55,7 +56,21 @@ struct FacedetTrackState : core::TypedState<FacedetTrackState>
     }
 
     ParticleCloud cloud;
-    bool seeded = false;
+
+    bool seeded() const { return (cloud.flagsWord() & 1) != 0; }
+
+    void
+    setSeeded(bool s)
+    {
+        cloud.setFlagsWord(s ? (cloud.flagsWord() | 1)
+                             : (cloud.flagsWord() & ~std::uint64_t{1}));
+    }
+
+    const core::VersionedBuffer *
+    payload() const override
+    {
+        return &cloud.buffer();
+    }
 };
 
 /** The state dependence of facedet-and-track. */
@@ -82,6 +97,8 @@ class FacedetTrackModel : public core::IStateModel
     bool matches(const core::State &spec,
                  const core::State &orig) const override;
     std::size_t stateSizeBytes() const override;
+    std::uint64_t compareBytes(const core::State &spec,
+                               const core::State &orig) const override;
 
     const FacedetTrackParams &params() const { return p; }
 

@@ -23,7 +23,7 @@ FacetrackModel::initialState() const
 {
     auto s = std::make_unique<FacetrackState>(p.particles);
     s->cloud.collapseTo({(*truth_)[0], (*truth_)[1], (*truth_)[2]});
-    s->seeded = true;
+    s->setSeeded(true);
     return s;
 }
 
@@ -32,7 +32,7 @@ FacetrackModel::coldState() const
 {
     auto s = std::make_unique<FacetrackState>(p.particles);
     s->cloud.spreadUniform(0.0, p.arena);
-    s->seeded = false;
+    // Flags word starts at zero: not seeded, lost count 0.
     return s;
 }
 
@@ -46,30 +46,24 @@ FacetrackModel::update(core::State &state, std::size_t input,
     const double *tr = truth_->data() + input * 3;
 
     auto seed_from = [&](const double *center) {
-        for (unsigned part = 0; part < cloud.particles(); ++part) {
-            cloud.coord(part, 0) =
-                center[0] + ctx.rng().gaussian(0.0, p.seedSpread);
-            cloud.coord(part, 1) =
-                center[1] + ctx.rng().gaussian(0.0, p.seedSpread);
-            cloud.coord(part, 2) =
-                center[2] + ctx.rng().gaussian(0.0, 0.05);
-        }
-        s.seeded = true;
-        s.lostCount = 0;
+        cloud.overwriteCoords([&](unsigned, unsigned d) {
+            return center[d] +
+                   ctx.rng().gaussian(0.0,
+                                      d == 2 ? 0.05 : p.seedSpread);
+        });
+        s.setSeeded(true);
+        s.setLostCount(0);
     };
 
-    if (!s.seeded)
+    if (!s.seeded())
         seed_from(ob);
 
     // Motion model.
-    for (unsigned part = 0; part < cloud.particles(); ++part) {
-        cloud.coord(part, 0) +=
-            ctx.rng().gaussian(0.0, p.propagateSigma);
-        cloud.coord(part, 1) +=
-            ctx.rng().gaussian(0.0, p.propagateSigma);
-        cloud.coord(part, 2) +=
-            ctx.rng().gaussian(0.0, p.scalePropagateSigma);
-    }
+    cloud.transformCoords([&](unsigned, unsigned d, double c) {
+        return c + ctx.rng().gaussian(0.0, d == 2
+                                               ? p.scalePropagateSigma
+                                               : p.propagateSigma);
+    });
 
     // Appearance likelihood against the apparent measurement.  A locked
     // tracker far from a decoy sees a flat (floored) likelihood and
@@ -87,10 +81,11 @@ FacetrackModel::update(core::State &state, std::size_t input,
     });
 
     if (max_logl < p.lostLogLikelihood) {
-        if (++s.lostCount >= p.lostFramesToReseed)
+        s.setLostCount(s.lostCount() + 1);
+        if (s.lostCount() >= p.lostFramesToReseed)
             seed_from(ob);
     } else {
-        s.lostCount = 0;
+        s.setLostCount(0);
     }
 
     const Point2 est{cloud.mean(0), cloud.mean(1)};
@@ -107,7 +102,7 @@ FacetrackModel::matches(const core::State &spec,
 {
     const auto &a = static_cast<const FacetrackState &>(spec);
     const auto &b = static_cast<const FacetrackState &>(orig);
-    if (!a.seeded || !b.seeded)
+    if (!a.seeded() || !b.seeded())
         return false;
     const Point2 ea{a.cloud.mean(0), a.cloud.mean(1)};
     const Point2 eb{b.cloud.mean(0), b.cloud.mean(1)};
@@ -120,6 +115,16 @@ std::size_t
 FacetrackModel::stateSizeBytes() const
 {
     return static_cast<std::size_t>(p.particles) * (3 * 8 + 8);
+}
+
+std::uint64_t
+FacetrackModel::compareBytes(const core::State &spec,
+                             const core::State &orig) const
+{
+    return cloudCompareBytes(
+        static_cast<const FacetrackState &>(spec).cloud,
+        static_cast<const FacetrackState &>(orig).cloud,
+        stateSizeBytes());
 }
 
 FacetrackWorkload::FacetrackWorkload(double scale)

@@ -50,14 +50,42 @@ struct FacetrackParams
     std::uint64_t dataSeed = 0xFACE7;
 };
 
-/** Face-box hypothesis set + lock bookkeeping. */
+/** Face-box hypothesis set + lock bookkeeping.  The seeded flag and
+ *  lost counter are packed into the cloud's versioned flags word
+ *  (bit 0 / bits 1+), so clones share the whole state as blocks. */
 struct FacetrackState : core::TypedState<FacetrackState>
 {
     explicit FacetrackState(unsigned particles) : cloud(particles, 3) {}
 
     ParticleCloud cloud; //!< (x, y, scale) per particle.
-    bool seeded = false;
-    unsigned lostCount = 0;
+
+    bool seeded() const { return (cloud.flagsWord() & 1) != 0; }
+
+    void
+    setSeeded(bool s)
+    {
+        cloud.setFlagsWord(s ? (cloud.flagsWord() | 1)
+                             : (cloud.flagsWord() & ~std::uint64_t{1}));
+    }
+
+    unsigned
+    lostCount() const
+    {
+        return static_cast<unsigned>(cloud.flagsWord() >> 1);
+    }
+
+    void
+    setLostCount(unsigned n)
+    {
+        cloud.setFlagsWord((std::uint64_t{n} << 1) |
+                           (cloud.flagsWord() & 1));
+    }
+
+    const core::VersionedBuffer *
+    payload() const override
+    {
+        return &cloud.buffer();
+    }
 };
 
 /** The state dependence of facetrack. */
@@ -81,6 +109,8 @@ class FacetrackModel : public core::IStateModel
     bool matches(const core::State &spec,
                  const core::State &orig) const override;
     std::size_t stateSizeBytes() const override;
+    std::uint64_t compareBytes(const core::State &spec,
+                               const core::State &orig) const override;
 
     const FacetrackParams &params() const { return p; }
 

@@ -5,22 +5,46 @@
  * bodytrack, facetrack, and facedet-and-track are particle filters over
  * different state spaces (articulated body joints; a face box; a face
  * box behind a detector).  ParticleCloud provides the common machinery:
- * flat particle storage (the bytes counted in Table I), propagation,
+ * particle storage (the bytes counted in Table I), propagation,
  * weighting, systematic resampling, and the weighted-mean estimate.
+ *
+ * Storage is a core::VersionedBuffer laid out as
+ *   [particles x dims coordinates][particles weights][one flags word]
+ * so cloning a cloud under StateVersioning::CopyOnWrite shares blocks
+ * instead of copying bytes, and the bulk mutators (propagate, weigh,
+ * resample, overwriteCoords) rewrite whole blocks without first
+ * materializing the stale content.  The flags word packs workload
+ * booleans (seeded, lost counters) into the versioned payload so the
+ * whole computational state lives behind one buffer.
+ *
+ * The weighted-mean estimates are cached per cloud object and
+ * invalidated by any mutation.  Under CopyOnWrite a commit check whose
+ * sides were estimated after their last mutation (the common case: the
+ * update computes its output estimate last) reads only the cached
+ * means — that is the incremental-validation win the state-comparison
+ * §V-B category measures.  Under Deep the cache stays disabled so the
+ * legacy full-scan cost profile is preserved for A/B runs.
  */
 
 #ifndef REPRO_WORKLOADS_PARTICLE_FILTER_H
 #define REPRO_WORKLOADS_PARTICLE_FILTER_H
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "core/versioned_state.h"
 #include "util/rng.h"
 
 namespace repro::workloads {
 
 /**
  * A set of weighted particles in a D-dimensional state space.
+ *
+ * Mutators require exclusive use of the cloud object; const reads
+ * (including mean(), which may fill the estimate cache) may race with
+ * nothing but other const reads on the *same* object.  Distinct clones
+ * sharing blocks are independent objects and safe to use concurrently.
  */
 class ParticleCloud
 {
@@ -34,12 +58,78 @@ class ParticleCloud
     unsigned dims() const { return numDims; }
 
     /** Coordinate @p d of particle @p p. */
-    double coord(unsigned p, unsigned d) const;
-    /** Mutable coordinate access. */
-    double &coord(unsigned p, unsigned d);
+    double
+    coord(unsigned p, unsigned d) const
+    {
+        return buf_.get<double>(static_cast<std::size_t>(p) * numDims +
+                                d);
+    }
+
+    /** Writes coordinate @p d of particle @p p. */
+    void
+    setCoord(unsigned p, unsigned d, double v)
+    {
+        invalidateEstimates();
+        buf_.set<double>(static_cast<std::size_t>(p) * numDims + d, v);
+    }
 
     /** Weight of particle @p p (normalized after weigh()). */
-    double weight(unsigned p) const { return weights[p]; }
+    double
+    weight(unsigned p) const
+    {
+        return buf_.get<double>(weightIndex(p));
+    }
+
+    /**
+     * Rewrites every coordinate to fn(p, d), visiting particles in
+     * ascending order with dims innermost (the order seeding loops
+     * draw their RNG values in).  Whole blocks are swapped in fresh,
+     * so reseeding a shared clone copies nothing.
+     */
+    template <typename Fn>
+    void
+    overwriteCoords(Fn &&fn)
+    {
+        invalidateEstimates();
+        buf_.overwrite(
+            0, coordBytes(),
+            [&](std::byte *dst, std::size_t bytes, std::size_t rel) {
+                std::size_t i = rel / sizeof(double);
+                auto *out = reinterpret_cast<double *>(dst);
+                for (std::size_t k = 0; k < bytes / sizeof(double);
+                     ++k, ++i) {
+                    out[k] = fn(static_cast<unsigned>(i / numDims),
+                                static_cast<unsigned>(i % numDims));
+                }
+            });
+    }
+
+    /**
+     * Rewrites every coordinate to fn(p, d, old_value), same visiting
+     * order as overwriteCoords().  On shared blocks the new values are
+     * written into fresh blocks while the old ones are read from the
+     * shared originals — no copy of the stale bytes.
+     */
+    template <typename Fn>
+    void
+    transformCoords(Fn &&fn)
+    {
+        invalidateEstimates();
+        buf_.transform(
+            0, coordBytes(),
+            [&](std::byte *dst, const std::byte *src, std::size_t bytes,
+                std::size_t rel) {
+                std::size_t i = rel / sizeof(double);
+                auto *out = reinterpret_cast<double *>(dst);
+                const auto *in = reinterpret_cast<const double *>(src);
+                for (std::size_t k = 0; k < bytes / sizeof(double);
+                     ++k, ++i) {
+                    out[k] = fn(static_cast<unsigned>(i / numDims),
+                                static_cast<unsigned>(i % numDims),
+                                in[k]);
+                }
+            });
+    }
 
     /**
      * Deterministic stratified spread over [lo, hi] per dimension — the
@@ -72,15 +162,77 @@ class ParticleCloud
     /** Weighted mean of dimension @p d. */
     double mean(unsigned d) const;
 
+    /** Whether the estimate cache is valid, i.e. a commit check can
+     *  read means without scanning the particle payload. */
+    bool estimatesWarm() const { return meanValid_; }
+
+    /** The 64-bit flags word workloads pack booleans into (versioned
+     *  with the particles; starts at zero). */
+    std::uint64_t
+    flagsWord() const
+    {
+        return buf_.get<std::uint64_t>(flagsIndex());
+    }
+
+    /** Overwrites the flags word. */
+    void
+    setFlagsWord(std::uint64_t w)
+    {
+        buf_.set<std::uint64_t>(flagsIndex(), w);
+    }
+
+    /** The versioned payload (State::payload plumbing). */
+    const core::VersionedBuffer &buffer() const { return buf_; }
+
     /** Bytes of particle storage: particles x (dims x 8 + 8). */
     std::size_t sizeBytes() const;
 
   private:
+    std::size_t
+    coordBytes() const
+    {
+        return static_cast<std::size_t>(numParticles) * numDims *
+               sizeof(double);
+    }
+
+    std::size_t
+    weightIndex(unsigned p) const
+    {
+        return static_cast<std::size_t>(numParticles) * numDims + p;
+    }
+
+    std::size_t
+    flagsIndex() const
+    {
+        return static_cast<std::size_t>(numParticles) * (numDims + 1);
+    }
+
+    void
+    invalidateEstimates()
+    {
+        meanValid_ = false;
+    }
+
     unsigned numParticles;
     unsigned numDims;
-    std::vector<double> coords;  //!< particles x dims, row-major.
-    std::vector<double> weights; //!< Normalized after weigh().
+    core::VersionedBuffer buf_;
+
+    // Estimate cache: weighted means of all dims, filled by one
+    // particle-major pass that is bit-identical to the legacy per-dim
+    // scan.  Used only under CopyOnWrite (Deep keeps legacy costs).
+    mutable std::vector<double> meanCache_;
+    mutable bool meanValid_ = false;
 };
+
+/**
+ * Bytes a commit check between two clouds actually reads, one side at
+ * a time: a warm side contributes its cached estimates, a cold side
+ * half of @p full_state_bytes (cold+cold equals the legacy flat
+ * charge).
+ */
+std::uint64_t cloudCompareBytes(const ParticleCloud &speculative,
+                                const ParticleCloud &original,
+                                std::size_t full_state_bytes);
 
 } // namespace repro::workloads
 

@@ -19,9 +19,12 @@ StreamclusterModel::StreamclusterModel(StreamclusterParams params,
 core::StateHandle
 StreamclusterModel::gridState() const
 {
-    auto s = std::make_unique<StreamclusterState>();
-    s->centers = driftingCenters(0.0, p.clusters, p.arena, 0.0);
-    s->weights.assign(p.clusters, 1.0);
+    auto s = std::make_unique<StreamclusterState>(p.clusters);
+    const auto centers = driftingCenters(0.0, p.clusters, p.arena, 0.0);
+    for (unsigned c = 0; c < p.clusters; ++c) {
+        s->setCenter(c, centers[c]);
+        s->setWeight(c, 1.0);
+    }
     return s;
 }
 
@@ -51,12 +54,14 @@ StreamclusterModel::update(core::State &state, std::size_t input,
 
     // Assignment pass: nearest facility per point; a random subsample
     // contributes to the centroid pull (the algorithm's sampling).
+    // Centers are read-only here, so read them out of the payload once.
+    const std::vector<Point2> cs = s.centersVec();
     for (unsigned j = 0; j < p.pointsPerInput; ++j) {
         const Point2 &pt = batch[j];
         unsigned best = 0;
-        double best_d = distanceSq(pt, s.centers[0]);
+        double best_d = distanceSq(pt, cs[0]);
         for (unsigned c = 1; c < k; ++c) {
-            const double d = distanceSq(pt, s.centers[c]);
+            const double d = distanceSq(pt, cs[c]);
             if (d < best_d) {
                 best_d = d;
                 best = c;
@@ -80,17 +85,21 @@ StreamclusterModel::update(core::State &state, std::size_t input,
         const Point2 centroid{sums[c].x / counts[c],
                               sums[c].y / counts[c]};
         const double bw = counts[c];
+        const double w = s.weightAt(c);
+        Point2 cur = s.center(c);
         unsigned iters = 0;
-        while (distance(s.centers[c], centroid) > p.convergeEps &&
+        while (distance(cur, centroid) > p.convergeEps &&
                iters < p.maxRefineIters) {
-            const double f = bw / (s.weights[c] + bw);
-            s.centers[c].x += f * (centroid.x - s.centers[c].x);
-            s.centers[c].y += f * (centroid.y - s.centers[c].y);
+            const double f = bw / (w + bw);
+            cur.x += f * (centroid.x - cur.x);
+            cur.y += f * (centroid.y - cur.y);
             ctx.tick(static_cast<std::uint64_t>(p.pointsPerInput) *
                      p.opsPerPointRefine);
             ++iters;
         }
-        s.weights[c] = std::min(s.weights[c] + bw, p.maxWeight);
+        if (iters > 0)
+            s.setCenter(c, cur);
+        s.setWeight(c, std::min(w + bw, p.maxWeight));
     }
 
     // Randomized facility reopening: the victim facility moves half
@@ -101,11 +110,11 @@ StreamclusterModel::update(core::State &state, std::size_t input,
             static_cast<unsigned>(ctx.rng().uniformInt(k));
         const unsigned pick = static_cast<unsigned>(
             ctx.rng().uniformInt(p.pointsPerInput));
-        s.centers[victim].x +=
-            0.5 * (batch[pick].x - s.centers[victim].x);
-        s.centers[victim].y +=
-            0.5 * (batch[pick].y - s.centers[victim].y);
-        s.weights[victim] *= 0.25;
+        Point2 vc = s.center(victim);
+        vc.x += 0.5 * (batch[pick].x - vc.x);
+        vc.y += 0.5 * (batch[pick].y - vc.y);
+        s.setCenter(victim, vc);
+        s.setWeight(victim, s.weightAt(victim) * 0.25);
     }
 
     return batch_cost / static_cast<double>(p.pointsPerInput);
@@ -117,7 +126,8 @@ StreamclusterModel::matches(const core::State &spec,
 {
     const auto &a = static_cast<const StreamclusterState &>(spec);
     const auto &b = static_cast<const StreamclusterState &>(orig);
-    return greedyMatchCost(a.centers, b.centers) <= p.matchTolerance;
+    return greedyMatchCost(a.centersVec(), b.centersVec()) <=
+           p.matchTolerance;
 }
 
 StreamclusterWorkload::StreamclusterWorkload(double scale)

@@ -51,11 +51,56 @@ struct StreamclusterParams
     std::uint64_t dataSeed = 0x5EEDC0DE;  //!< Input-data seed (fixed).
 };
 
-/** The facility set: the 104-byte state of Table I. */
+/** The facility set: the 104-byte state of Table I, stored as a
+ *  versioned block payload ([k centers][k weights]) so speculative
+ *  clones share the single backing block until written. */
 struct StreamclusterState : core::TypedState<StreamclusterState>
 {
-    std::vector<Point2> centers;
-    std::vector<double> weights;
+    explicit StreamclusterState(unsigned k)
+        : numClusters(k),
+          buf(static_cast<std::size_t>(k) * 3 * sizeof(double))
+    {
+    }
+
+    unsigned numClusters;
+    core::VersionedBuffer buf;
+
+    Point2
+    center(unsigned c) const
+    {
+        return {buf.get<double>(2 * c), buf.get<double>(2 * c + 1)};
+    }
+
+    void
+    setCenter(unsigned c, Point2 pt)
+    {
+        buf.set<double>(2 * c, pt.x);
+        buf.set<double>(2 * c + 1, pt.y);
+    }
+
+    double
+    weightAt(unsigned c) const
+    {
+        return buf.get<double>(2 * numClusters + c);
+    }
+
+    void
+    setWeight(unsigned c, double w)
+    {
+        buf.set<double>(2 * numClusters + c, w);
+    }
+
+    /** All centers as a vector (matches()'s greedy matching input). */
+    std::vector<Point2>
+    centersVec() const
+    {
+        std::vector<Point2> v(numClusters);
+        for (unsigned c = 0; c < numClusters; ++c)
+            v[c] = center(c);
+        return v;
+    }
+
+    const core::VersionedBuffer *payload() const override { return &buf; }
 };
 
 /** The state dependence of streamcluster. */

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the refcounted block arena (util/block_arena.h) and
+ * the word-at-a-time bulk-memory kernels (util/blockops.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "util/block_arena.h"
+#include "util/blockops.h"
+#include "util/rng.h"
+
+namespace {
+
+using repro::util::BlockArena;
+using repro::util::Rng;
+namespace blockops = repro::util::blockops;
+
+TEST(BlockArena, AllocateGivesExclusiveBlock)
+{
+    BlockArena arena(256);
+    BlockArena::Block *b = arena.allocate();
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->refs.load(), 1u);
+    EXPECT_EQ(arena.liveBlocks(), 1u);
+    EXPECT_EQ(arena.allocatedBlocks(), 1u);
+    std::uint64_t h = 0;
+    EXPECT_FALSE(b->cachedHash(h));
+    arena.release(b);
+    EXPECT_EQ(arena.liveBlocks(), 0u);
+}
+
+TEST(BlockArena, FreeListReusesReleasedBlocks)
+{
+    BlockArena arena(256);
+    BlockArena::Block *a = arena.allocate();
+    arena.release(a);
+    // A non-global arena has no thread cache: the released block sits
+    // on the central free list and comes straight back.
+    BlockArena::Block *b = arena.allocate();
+    EXPECT_EQ(b, a);
+    EXPECT_EQ(arena.allocatedBlocks(), 1u); // No new slab from the OS.
+    arena.release(b);
+}
+
+TEST(BlockArena, RetainSharesUntilLastRelease)
+{
+    BlockArena arena(256);
+    BlockArena::Block *b = arena.allocate();
+    BlockArena::retain(b);
+    EXPECT_EQ(b->refs.load(), 2u);
+    arena.release(b);
+    EXPECT_EQ(b->refs.load(), 1u);
+    EXPECT_EQ(arena.liveBlocks(), 1u); // Still owned by one reference.
+    arena.release(b);
+    EXPECT_EQ(arena.liveBlocks(), 0u);
+}
+
+TEST(BlockArena, RecycledBlockDropsStaleHash)
+{
+    BlockArena arena(256);
+    BlockArena::Block *a = arena.allocate();
+    a->publishHash(0xDEADBEEFull);
+    std::uint64_t h = 0;
+    ASSERT_TRUE(a->cachedHash(h));
+    EXPECT_EQ(h, 0xDEADBEEFull);
+    arena.release(a);
+    BlockArena::Block *b = arena.allocate(); // Same storage, fresh block.
+    EXPECT_FALSE(b->cachedHash(h));
+    arena.release(b);
+}
+
+TEST(BlockArena, GlobalArenaUsesPageBlocks)
+{
+    EXPECT_EQ(BlockArena::global().blockBytes(),
+              BlockArena::kDefaultBlockBytes);
+}
+
+TEST(BlockArena, ConcurrentRetainReleaseKeepsCounts)
+{
+    BlockArena arena(256);
+    BlockArena::Block *b = arena.allocate();
+    constexpr int kThreads = 4;
+    constexpr int kIters = 5000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        // The base reference outlives every thread, so the refcount
+        // never hits zero mid-loop and the block is never recycled
+        // under a racing retain.
+        threads.emplace_back([&] {
+            for (int i = 0; i < kIters; ++i) {
+                BlockArena::retain(b);
+                arena.release(b);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(b->refs.load(), 1u);
+    EXPECT_EQ(arena.liveBlocks(), 1u);
+    arena.release(b);
+    EXPECT_EQ(arena.liveBlocks(), 0u);
+}
+
+TEST(Blockops, WordsEqualMatchesMemcmpAcrossSizes)
+{
+    Rng rng(7);
+    for (const std::size_t n :
+         {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{8},
+          std::size_t{9}, std::size_t{31}, std::size_t{32},
+          std::size_t{33}, std::size_t{63}, std::size_t{64},
+          std::size_t{65}, std::size_t{104}, std::size_t{4096}}) {
+        std::vector<unsigned char> a(n), b(n);
+        for (std::size_t i = 0; i < n; ++i)
+            a[i] = b[i] =
+                static_cast<unsigned char>(rng.uniformInt(256));
+        EXPECT_TRUE(blockops::wordsEqual(a.data(), b.data(), n))
+            << "size " << n;
+        if (n == 0)
+            continue;
+        b[0] ^= 0x01; // First byte differs.
+        EXPECT_FALSE(blockops::wordsEqual(a.data(), b.data(), n))
+            << "size " << n;
+        b[0] = a[0];
+        b[n - 1] ^= 0x80; // Last byte differs (unrolled-loop tail).
+        EXPECT_FALSE(blockops::wordsEqual(a.data(), b.data(), n))
+            << "size " << n;
+    }
+}
+
+TEST(Blockops, Hash64SensitiveToEveryByte)
+{
+    std::vector<unsigned char> data(104);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<unsigned char>(i * 37 + 5);
+    const std::uint64_t base = blockops::hash64(data.data(), data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] ^= 0x40;
+        EXPECT_NE(blockops::hash64(data.data(), data.size()), base)
+            << "byte " << i;
+        data[i] ^= 0x40;
+    }
+    EXPECT_EQ(blockops::hash64(data.data(), data.size()), base);
+}
+
+TEST(Blockops, Hash64SeedChangesFingerprint)
+{
+    const char data[] = "incremental validation";
+    const std::uint64_t h1 = blockops::hash64(data, sizeof(data), 1);
+    const std::uint64_t h2 = blockops::hash64(data, sizeof(data), 2);
+    EXPECT_NE(h1, h2);
+    EXPECT_EQ(h1, blockops::hash64(data, sizeof(data), 1));
+}
+
+TEST(Blockops, HashCombineIsOrderSensitive)
+{
+    const std::uint64_t a = 0x1234;
+    const std::uint64_t b = 0x9876;
+    const std::uint64_t ab =
+        blockops::hashCombine(blockops::hashCombine(0, a), b);
+    const std::uint64_t ba =
+        blockops::hashCombine(blockops::hashCombine(0, b), a);
+    EXPECT_NE(ab, ba);
+}
+
+} // namespace

@@ -179,9 +179,12 @@ TEST(Streamcluster, MatchesToleratesSmallPerturbation)
         m.update(*s, i, c);
     StateHandle t = s->clone();
     auto &ts = static_cast<StreamclusterState &>(*t);
-    ts.centers[0].x += 0.5;
+    Point2 c0 = ts.center(0);
+    c0.x += 0.5;
+    ts.setCenter(0, c0);
     EXPECT_TRUE(m.matches(*s, *t));
-    ts.centers[0].x += 50.0;
+    c0.x += 50.0;
+    ts.setCenter(0, c0);
     EXPECT_FALSE(m.matches(*s, *t));
 }
 

@@ -8,11 +8,14 @@
 
 #include <cmath>
 
+#include "core/versioned_state.h"
 #include "util/rng.h"
 #include "workloads/particle_filter.h"
 
 namespace {
 
+using repro::core::ScopedStateVersioning;
+using repro::core::StateVersioning;
 using repro::util::Rng;
 using repro::workloads::ParticleCloud;
 
@@ -105,8 +108,8 @@ TEST(ParticleCloud, WeighNormalizes)
 TEST(ParticleCloud, WeighPrefersLikelyParticles)
 {
     ParticleCloud c(2, 1);
-    c.coord(0, 0) = 0.0;
-    c.coord(1, 0) = 10.0;
+    c.setCoord(0, 0, 0.0);
+    c.setCoord(1, 0, 10.0);
     // Observation at 0: particle 0 is far more likely.
     c.weigh([&](unsigned p) {
         const double d = c.coord(p, 0);
@@ -119,7 +122,7 @@ TEST(ParticleCloud, WeighFloorKeepsOutliersAlive)
 {
     ParticleCloud c(4, 1);
     for (unsigned p = 0; p < 4; ++p)
-        c.coord(p, 0) = p == 0 ? 0.0 : 100.0;
+        c.setCoord(p, 0, p == 0 ? 0.0 : 100.0);
     c.weigh([&](unsigned p) { return -c.coord(p, 0) * c.coord(p, 0); },
             0.01);
     for (unsigned p = 1; p < 4; ++p)
@@ -165,8 +168,34 @@ TEST(ParticleCloud, CopyIsDeep)
     ParticleCloud a(10, 1);
     a.collapseTo({1.0});
     ParticleCloud b = a;
-    b.coord(0, 0) = 99.0;
+    b.setCoord(0, 0, 99.0);
     EXPECT_DOUBLE_EQ(a.coord(0, 0), 1.0);
+}
+
+TEST(ParticleCloud, MeanCacheMatchesLegacyScanBitwise)
+{
+    // The CoW-mode mean cache fills every dim in one particle-major
+    // pass; each dim must accumulate the exact operands in the exact
+    // order of the legacy per-dim scan, so the cached value is
+    // bit-identical (not merely close) to it.
+    const auto build = [] {
+        ParticleCloud c(523, 3); // Straddles block boundaries unevenly.
+        c.spreadUniform(0.0, 100.0);
+        Rng rng(11);
+        c.propagate(rng, 2.0);
+        c.weigh([&](unsigned p) { return -c.coord(p, 0) / 10.0; });
+        return c;
+    };
+    const ScopedStateVersioning cow(StateVersioning::CopyOnWrite);
+    const ParticleCloud c = build();
+    EXPECT_FALSE(c.estimatesWarm());
+    for (unsigned d = 0; d < c.dims(); ++d) {
+        double legacy = 0.0;
+        for (unsigned p = 0; p < c.particles(); ++p)
+            legacy += c.weight(p) * c.coord(p, d);
+        ASSERT_EQ(c.mean(d), legacy) << "dim " << d;
+    }
+    EXPECT_TRUE(c.estimatesWarm());
 }
 
 } // namespace

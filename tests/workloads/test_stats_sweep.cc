@@ -15,13 +15,17 @@
 
 #include "core/engine.h"
 #include "core/native_runtime.h"
+#include "core/versioned_state.h"
 #include "workloads/workload.h"
 
 namespace {
 
+using repro::core::CommitProtocol;
 using repro::core::Engine;
 using repro::core::NativeRuntime;
 using repro::core::RunResult;
+using repro::core::ScopedStateVersioning;
+using repro::core::StateVersioning;
 using namespace repro::workloads;
 
 constexpr double kScale = 0.25;
@@ -82,6 +86,59 @@ TEST_P(StatsSweep, NativeRuntimeAgreesWithEngine)
     for (std::size_t i = 0; i < real.outputs.size(); ++i) {
         ASSERT_DOUBLE_EQ(real.outputs[i], logical.outputs[i])
             << name << " seed " << seed << " input " << i;
+    }
+}
+
+TEST_P(StatsSweep, StateVersioningModesAreBitIdentical)
+{
+    // The versioning knob changes how state bytes are stored and
+    // validated, never what they contain: commits, aborts, and every
+    // output must agree bit for bit between Deep and CopyOnWrite, for
+    // the logical engine and for both native commit protocols.
+    const auto &[name, seed] = GetParam();
+    const auto w = makeWorkload(name, kScale);
+    auto cfg = w->tunedConfig(14);
+    cfg.innerTlpThreads = 1;
+
+    const auto engineRun = [&](StateVersioning mode) {
+        const ScopedStateVersioning guard(mode);
+        return Engine().runStats(w->model(), w->region(), w->tlpModel(),
+                                 cfg, seed);
+    };
+    const RunResult deep = engineRun(StateVersioning::Deep);
+    const RunResult cow = engineRun(StateVersioning::CopyOnWrite);
+    EXPECT_EQ(deep.commits, cow.commits) << name;
+    EXPECT_EQ(deep.aborts, cow.aborts) << name;
+    ASSERT_EQ(deep.outputs.size(), cow.outputs.size());
+    for (std::size_t i = 0; i < deep.outputs.size(); ++i) {
+        // Exact equality, not a tolerance: the modes must not diverge
+        // by a single ULP.
+        ASSERT_EQ(deep.outputs[i], cow.outputs[i])
+            << name << " seed " << seed << " input " << i;
+    }
+
+    for (const CommitProtocol protocol :
+         {CommitProtocol::Barrier, CommitProtocol::Pipelined}) {
+        const NativeRuntime native(2, protocol);
+        const auto nativeRun = [&](StateVersioning mode) {
+            const ScopedStateVersioning guard(mode);
+            return native.run(w->model(), cfg, seed);
+        };
+        const auto ndeep = nativeRun(StateVersioning::Deep);
+        const auto ncow = nativeRun(StateVersioning::CopyOnWrite);
+        EXPECT_EQ(ndeep.commits, ncow.commits) << name;
+        EXPECT_EQ(ndeep.aborts, ncow.aborts) << name;
+        ASSERT_EQ(ndeep.outputs.size(), ncow.outputs.size());
+        for (std::size_t i = 0; i < ndeep.outputs.size(); ++i) {
+            ASSERT_EQ(ndeep.outputs[i], ncow.outputs[i])
+                << name << " seed " << seed << " input " << i;
+        }
+        // And both agree with the engine oracle.
+        ASSERT_EQ(ncow.outputs.size(), cow.outputs.size());
+        for (std::size_t i = 0; i < ncow.outputs.size(); ++i) {
+            ASSERT_EQ(ncow.outputs[i], cow.outputs[i])
+                << name << " seed " << seed << " input " << i;
+        }
     }
 }
 
