@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Multi-tenant serving throughput and latency sweep.
+ *
+ * Runs the ServingRuntime with 1, 2, 4, ... concurrent sessions, each
+ * fed by its own rate-paced producer thread (the serving shape: many
+ * mostly-idle streams, not one saturating batch), and reports per
+ * session count the aggregate committed inputs/sec plus the p50/p99
+ * end-to-end latency (submit -> result delivery) from the
+ * serving.e2e_latency_seconds histogram.  Each series ends with a
+ * deliberate sub-chunk trickle and a pause past the latency budget so
+ * the deadline-closure path is exercised on every run — CI gates on
+ * serving.deadline_closures > 0 and on zero backpressure rejections.
+ *
+ * The repo's perf baseline lives in BENCH_serving_throughput.json at
+ * the root.
+ *
+ * Flags (bench_common.h style):
+ *   --scale=<0..1>      workload input scale          (default 1.0)
+ *   --seed=<n>          base session seed             (default 42)
+ *   --workload=<name>   workload to serve             (default streamclassifier)
+ *   --sessions-max=<n>  top of the 1,2,4,... sweep    (default 8)
+ *   --rate=<n>          inputs/sec per session        (default 400)
+ *   --duration=<sec>    paced phase per series        (default 1.0)
+ *   --chunk=<n>         inputs per chunk              (default 16)
+ *   --budget-ms=<n>     per-session latency budget    (default 50)
+ *   --out=<path>        also write the JSON to a file
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "metrics/metrics.h"
+#include "serving/serving_runtime.h"
+#include "util/cli.h"
+#include "util/log.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using repro::metrics::MetricsRegistry;
+using repro::serving::ServingOptions;
+using repro::serving::ServingRuntime;
+using repro::serving::SessionConfig;
+using repro::serving::SessionId;
+using repro::serving::SubmitStatus;
+
+using Clock = std::chrono::steady_clock;
+
+struct SeriesResult
+{
+    unsigned sessions = 0;
+    double seconds = 0.0;        //!< Submit start -> all drained.
+    std::uint64_t delivered = 0; //!< Outputs across all sessions.
+    std::uint64_t rejected = 0;  //!< Backpressure rejections (gate: 0).
+    std::uint64_t deadlineClosures = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+
+    double
+    inputsPerSec() const
+    {
+        return seconds > 0.0 ? static_cast<double>(delivered) / seconds
+                             : 0.0;
+    }
+};
+
+/** Paces one session at @p rate inputs/sec for @p target inputs, then
+ *  trickles a final sub-chunk burst (exercises deadline closure). */
+void
+produce(ServingRuntime &runtime, SessionId id, double rate,
+        std::size_t target, std::size_t trickle)
+{
+    const auto interval = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(1.0 / rate));
+    const Clock::time_point start = Clock::now();
+    for (std::size_t n = 0; n < target + trickle; ++n) {
+        std::this_thread::sleep_until(start + interval * (n + 1));
+        for (;;) {
+            const auto result = runtime.submit(id);
+            if (result.status == SubmitStatus::Accepted)
+                break;
+            if (result.status == SubmitStatus::Exhausted)
+                return;
+            // Backpressure: retry without dropping (counted by the
+            // serving.inputs_rejected gate; should stay zero at the
+            // default rates).
+            std::this_thread::yield();
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const repro::util::Cli cli(argc, argv);
+    const auto opt = repro::bench::BenchOptions::parse(argc, argv, 1.0);
+    const std::string workload_name =
+        cli.getString("workload", "streamclassifier");
+    const unsigned sessions_max =
+        static_cast<unsigned>(cli.getInt("sessions-max", 8));
+    const double rate = cli.getDouble("rate", 400.0);
+    const double duration = cli.getDouble("duration", 1.0);
+    const std::size_t chunk_inputs =
+        static_cast<std::size_t>(cli.getInt("chunk", 16));
+    const auto budget =
+        std::chrono::milliseconds(cli.getInt("budget-ms", 50));
+    const std::string out_path = cli.getString("out", "");
+    const repro::bench::MetricsScope metrics_scope(opt);
+
+    const auto workload =
+        repro::workloads::makeWorkload(workload_name, opt.scale);
+    const auto &model = workload->model();
+
+    // Every session replays the same stream from index 0, so each may
+    // consume at most the model's input count; reserve the trickle.
+    constexpr std::size_t kTrickle = 3;
+    REPRO_ASSERT(model.numInputs() > kTrickle + chunk_inputs,
+                 "workload too small for the serving sweep");
+    const std::size_t per_session = std::min(
+        static_cast<std::size_t>(rate * duration),
+        model.numInputs() - kTrickle);
+
+    std::vector<unsigned> sweep;
+    for (unsigned s = 1; s <= sessions_max; s *= 2)
+        sweep.push_back(s);
+    const bool oversubscribed =
+        repro::bench::threadsExceedCores(sessions_max);
+
+    std::vector<SeriesResult> series;
+    for (const unsigned sessions : sweep) {
+        MetricsRegistry::global().resetAll();
+        SeriesResult r;
+        r.sessions = sessions;
+        {
+            ServingOptions sopt;
+            sopt.pollPeriod = std::chrono::microseconds(200);
+            ServingRuntime runtime(sopt);
+
+            std::vector<SessionId> ids(sessions);
+            for (unsigned i = 0; i < sessions; ++i) {
+                SessionConfig cfg;
+                cfg.seed = opt.seed + i;
+                cfg.chunkInputs = chunk_inputs;
+                cfg.queueCapacity = 4 * chunk_inputs;
+                cfg.latencyBudget = budget;
+                ids[i] = runtime.admit(model, cfg);
+            }
+
+            const Clock::time_point start = Clock::now();
+            std::vector<std::thread> producers;
+            for (unsigned i = 0; i < sessions; ++i)
+                producers.emplace_back([&, i] {
+                    produce(runtime, ids[i], rate, per_session,
+                            kTrickle);
+                });
+            for (std::thread &t : producers)
+                t.join();
+            // Let the trickle age past the budget so its partial chunk
+            // closes on deadline, not by the drain below.
+            std::this_thread::sleep_for(budget +
+                                        std::chrono::milliseconds(50));
+            for (const SessionId id : ids)
+                runtime.drain(id);
+            r.seconds =
+                std::chrono::duration<double>(Clock::now() - start)
+                    .count();
+            for (const SessionId id : ids) {
+                const auto stats = runtime.sessionStats(id);
+                r.delivered += stats.outputsDelivered;
+                r.commits += stats.commits;
+                r.aborts += stats.aborts;
+                runtime.evict(id);
+            }
+        }
+        auto &reg = MetricsRegistry::global();
+        r.rejected = reg.counter("serving.inputs_rejected").value();
+        r.deadlineClosures =
+            reg.counter("serving.deadline_closures").value();
+        const auto latency =
+            reg.histogram("serving.e2e_latency_seconds").snapshot();
+        r.p50Ms = latency.quantileSeconds(0.50) * 1e3;
+        r.p99Ms = latency.quantileSeconds(0.99) * 1e3;
+        series.push_back(r);
+    }
+
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"bench\": \"serving_throughput\",\n"
+         << "  \"workload\": \"" << workload_name << "\",\n"
+         << "  \"scale\": " << opt.scale << ",\n"
+         << "  \"rate_per_session\": " << rate << ",\n"
+         << "  \"inputs_per_session\": " << per_session << ",\n"
+         << "  \"chunk_inputs\": " << chunk_inputs << ",\n"
+         << "  \"latency_budget_ms\": " << budget.count() << ",\n"
+         << "  \"host\": " << repro::bench::hostMetadataJson() << ",\n"
+         << "  \"threads_exceed_cores\": "
+         << (oversubscribed ? "true" : "false") << ",\n"
+         << "  \"series\": [\n";
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        const SeriesResult &r = series[i];
+        json << "    {\"sessions\": " << r.sessions
+             << ", \"seconds\": " << r.seconds
+             << ", \"delivered\": " << r.delivered
+             << ", \"inputs_per_sec\": " << r.inputsPerSec()
+             << ", \"p50_ms\": " << r.p50Ms
+             << ", \"p99_ms\": " << r.p99Ms
+             << ", \"deadline_closures\": " << r.deadlineClosures
+             << ", \"rejected\": " << r.rejected
+             << ", \"commits\": " << r.commits
+             << ", \"aborts\": " << r.aborts << "}"
+             << (i + 1 < series.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n"
+         << "  \"metrics\": " << repro::bench::metricsSnapshotJson("  ")
+         << "\n}\n";
+
+    std::cout << json.str();
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        if (!out)
+            repro::util::fatal("cannot write " + out_path);
+        out << json.str();
+    }
+    return 0;
+}

@@ -1,0 +1,525 @@
+#include "serving/serving_runtime.h"
+
+#include <atomic>
+#include <deque>
+#include <utility>
+
+#include "metrics/metrics.h"
+#include "util/log.h"
+#include "util/spsc_ring.h"
+#include "util/thread_pool.h"
+
+namespace repro::serving {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+
+/** The serving layer's instruments, resolved once (registry lookups
+ *  take a lock; the steady state must not). */
+struct ServingMetrics
+{
+    metrics::Gauge &sessionsActive;
+    metrics::Counter &sessionsAdmitted;
+    metrics::Counter &sessionsDrained;
+    metrics::Counter &sessionsEvicted;
+    metrics::Counter &inputsSubmitted;
+    metrics::Counter &inputsRejected;
+    metrics::Counter &chunksClosedSize;
+    metrics::Counter &deadlineClosures;
+    metrics::Counter &drainClosures;
+    metrics::Counter &chunksCommitted;
+    metrics::Counter &chunksAborted;
+    metrics::Counter &outputsDelivered;
+    metrics::LatencyHistogram &e2eLatency;
+    /** Unit: *inputs* pending for the session at chunk closure, not
+     *  seconds — the power-of-two bucketing is what we want. */
+    metrics::LatencyHistogram &queueDepth;
+    metrics::LatencyHistogram &chunkProcess;
+};
+
+ServingMetrics &
+servingMetrics()
+{
+    auto &reg = metrics::MetricsRegistry::global();
+    static ServingMetrics m{
+        reg.gauge("serving.sessions_active"),
+        reg.counter("serving.sessions_admitted"),
+        reg.counter("serving.sessions_drained"),
+        reg.counter("serving.sessions_evicted"),
+        reg.counter("serving.inputs_submitted"),
+        reg.counter("serving.inputs_rejected"),
+        reg.counter("serving.chunks_closed_size"),
+        reg.counter("serving.deadline_closures"),
+        reg.counter("serving.drain_closures"),
+        reg.counter("serving.chunks_committed"),
+        reg.counter("serving.chunks_aborted"),
+        reg.counter("serving.outputs_delivered"),
+        reg.histogram("serving.e2e_latency_seconds"),
+        reg.histogram("serving.queue_depth"),
+        reg.histogram("serving.chunk_process_seconds"),
+    };
+    return m;
+}
+
+} // namespace
+
+namespace detail {
+
+/**
+ * All mutable state of one admitted session.  Held by shared_ptr: an
+ * in-flight strand task keeps its session alive even across evict()
+ * or runtime destruction, and the strand body touches *only* session
+ * members and immortal globals (pool, metrics) — never the runtime —
+ * so a strand can outlive the ServingRuntime that scheduled it.
+ */
+struct Session
+{
+    Session(SessionId sid, const core::IStateModel &m, SessionConfig c,
+            std::function<TimePoint()> clk, util::ThreadPool *pool)
+        : id(sid), cfg(std::move(c)), numInputs(m.numInputs()),
+          clock(std::move(clk)),
+          pipeline(m, cfg.stats, cfg.seed, pool),
+          ring(cfg.queueCapacity)
+    {
+    }
+
+    TimePoint
+    now() const
+    {
+        return clock ? clock() : Clock::now();
+    }
+
+    const SessionId id;
+    const SessionConfig cfg;
+    const std::size_t numInputs; //!< Model's input-stream length.
+    const std::function<TimePoint()> clock;
+
+    // ---- Producer side (one thread) --------------------------------
+    std::atomic<bool> draining{false};
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> rejected{0};
+
+    // ---- Consumer side (coordinator / poll / drain, serialized by
+    //      consumerMu) --------------------------------------------------
+    /** One closed-but-unprocessed chunk: the enqueue stamp of each of
+     *  its inputs (the strand turns stamps into e2e latencies). */
+    struct ClosedChunk
+    {
+        std::vector<TimePoint> stamps;
+        bool deadline = false;
+    };
+
+    std::mutex consumerMu;
+    std::vector<TimePoint> open;    //!< Enqueue stamps, oldest first.
+    std::deque<ClosedChunk> closed; //!< Closed, awaiting the strand.
+    std::atomic<std::uint64_t> chunksClosed{0};
+    std::atomic<std::uint64_t> deadlineClosures{0};
+
+    // ---- Strand (at most one pool task in flight) ------------------
+    std::atomic<bool> strandActive{false};
+    SessionPipeline pipeline; //!< Strand-owned while a task runs.
+    std::atomic<std::uint64_t> chunksProcessed{0};
+    std::atomic<std::uint64_t> commits{0};
+    std::atomic<std::uint64_t> aborts{0};
+    std::atomic<std::uint64_t> outputsDelivered{0};
+    util::SpscRing<TimePoint> ring;
+
+    // ---- Drain handshake -------------------------------------------
+    std::mutex drainMu;
+    std::condition_variable drainCv;
+    bool drained = false; //!< Guarded by drainMu.
+};
+
+} // namespace detail
+
+namespace {
+
+using detail::Session;
+
+/** Appends every queued input to the open chunk, closing on size as
+ *  it fills.  Caller holds consumerMu. */
+void
+drainRingLocked(Session &s,
+                const std::function<void(bool deadline, bool drain)> &close)
+{
+    TimePoint stamp;
+    while (s.ring.tryPop(stamp)) {
+        s.open.push_back(stamp);
+        if (s.open.size() >= s.cfg.chunkInputs)
+            close(false, false);
+    }
+}
+
+/** Moves the open chunk onto the closed queue.  Caller holds
+ *  consumerMu; the open chunk must be non-empty. */
+void
+closeOpen(Session &s, bool deadline, bool drainClose)
+{
+    auto &m = servingMetrics();
+    m.queueDepth.observe(
+        static_cast<double>(s.open.size() + s.ring.size()));
+    Session::ClosedChunk chunk;
+    chunk.stamps = std::move(s.open);
+    chunk.deadline = deadline;
+    s.open.clear();
+    s.closed.push_back(std::move(chunk));
+    s.chunksClosed.fetch_add(1, std::memory_order_relaxed);
+    if (deadline) {
+        s.deadlineClosures.fetch_add(1, std::memory_order_relaxed);
+        m.deadlineClosures.inc();
+    } else if (drainClose) {
+        m.drainClosures.inc();
+    } else {
+        m.chunksClosedSize.inc();
+    }
+}
+
+/** The strand body: processes closed chunks in order until the queue
+ *  is empty, then retires.  Touches only the session and immortal
+ *  globals; reschedules itself through the global pool. */
+void strandLoop(const std::shared_ptr<Session> &s);
+
+void
+scheduleStrandIfWork(const std::shared_ptr<Session> &s)
+{
+    {
+        const std::lock_guard<std::mutex> lock(s->consumerMu);
+        if (s->closed.empty())
+            return;
+    }
+    if (s->strandActive.exchange(true, std::memory_order_acq_rel))
+        return; // A strand task is already in flight.
+    std::shared_ptr<Session> keep = s;
+    util::ThreadPool::global().detach([keep] { strandLoop(keep); });
+}
+
+void
+strandLoop(const std::shared_ptr<Session> &s)
+{
+    auto &m = servingMetrics();
+    for (;;) {
+        Session::ClosedChunk chunk;
+        bool have = false;
+        {
+            const std::lock_guard<std::mutex> lock(s->consumerMu);
+            if (!s->closed.empty()) {
+                chunk = std::move(s->closed.front());
+                s->closed.pop_front();
+                have = true;
+            }
+        }
+        if (!have)
+            break;
+
+        SessionPipeline::ChunkResult result;
+        {
+            const metrics::ScopedTimer timer(m.chunkProcess);
+            result = s->pipeline.processChunk(chunk.stamps.size());
+        }
+        s->chunksProcessed.fetch_add(1, std::memory_order_relaxed);
+        if (result.aborted) {
+            s->aborts.fetch_add(1, std::memory_order_relaxed);
+            m.chunksAborted.inc();
+        } else {
+            s->commits.fetch_add(1, std::memory_order_relaxed);
+            m.chunksCommitted.inc();
+        }
+
+        if (s->cfg.onResult) {
+            const ResultChunk delivery{s->id, result.chunkIndex,
+                                       result.firstInput, result.aborted,
+                                       chunk.deadline, result.outputs};
+            s->cfg.onResult(delivery);
+        }
+
+        const TimePoint done = s->now();
+        for (const TimePoint &stamp : chunk.stamps)
+            m.e2eLatency.observe(
+                std::chrono::duration<double>(done - stamp).count());
+        s->outputsDelivered.fetch_add(chunk.stamps.size(),
+                                      std::memory_order_relaxed);
+        m.outputsDelivered.inc(chunk.stamps.size());
+    }
+
+    // Retire, wake any drainer, and re-arm if a closure raced in
+    // between our last pop and the store (classic lost-wakeup guard).
+    s->strandActive.store(false, std::memory_order_release);
+    {
+        const std::lock_guard<std::mutex> lock(s->drainMu);
+    }
+    s->drainCv.notify_all();
+    scheduleStrandIfWork(s);
+}
+
+/** Blocks until the session has no closed chunk pending and no strand
+ *  task in flight. */
+void
+waitIdle(Session &s)
+{
+    std::unique_lock<std::mutex> lock(s.drainMu);
+    s.drainCv.wait(lock, [&s] {
+        if (s.strandActive.load(std::memory_order_acquire))
+            return false;
+        const std::lock_guard<std::mutex> consumer(s.consumerMu);
+        return s.closed.empty();
+    });
+}
+
+} // namespace
+
+ServingRuntime::ServingRuntime(ServingOptions options)
+    : opts_(std::move(options))
+{
+    if (opts_.backgroundCoordinator)
+        coordinator_ = std::thread([this] { coordinatorLoop(); });
+}
+
+ServingRuntime::~ServingRuntime()
+{
+    {
+        const std::lock_guard<std::mutex> lock(coordMu_);
+        stopping_ = true;
+    }
+    coordCv_.notify_all();
+    if (coordinator_.joinable())
+        coordinator_.join();
+
+    // Finish in-flight work (queued-but-unclosed inputs are dropped,
+    // like a server shutting down), then release every session.
+    std::vector<std::shared_ptr<detail::Session>> victims;
+    {
+        const std::lock_guard<std::mutex> lock(sessionsMu_);
+        for (auto &entry : sessions_)
+            victims.push_back(entry.second);
+        sessions_.clear();
+    }
+    auto &m = servingMetrics();
+    for (const std::shared_ptr<detail::Session> &s : victims) {
+        s->draining.store(true, std::memory_order_release);
+        waitIdle(*s);
+        s->pipeline.releaseState();
+        m.sessionsActive.sub(1);
+    }
+}
+
+std::chrono::steady_clock::time_point
+ServingRuntime::now() const
+{
+    return opts_.clock ? opts_.clock() : Clock::now();
+}
+
+SessionId
+ServingRuntime::admit(const core::IStateModel &model, SessionConfig config)
+{
+    REPRO_ASSERT(config.chunkInputs >= 1,
+                 "session chunk size must be >= 1");
+    REPRO_ASSERT(config.queueCapacity >= 1,
+                 "session queue capacity must be >= 1");
+    util::ThreadPool *pool =
+        opts_.maxThreads == 1 ? nullptr : &util::ThreadPool::global();
+    std::shared_ptr<detail::Session> s;
+    SessionId id = 0;
+    {
+        const std::lock_guard<std::mutex> lock(sessionsMu_);
+        id = nextId_++;
+        s = std::make_shared<detail::Session>(id, model, std::move(config),
+                                      opts_.clock, pool);
+        sessions_.emplace(id, std::move(s));
+    }
+    auto &m = servingMetrics();
+    m.sessionsAdmitted.inc();
+    m.sessionsActive.add(1);
+    return id;
+}
+
+std::shared_ptr<detail::Session>
+ServingRuntime::find(SessionId id) const
+{
+    const std::lock_guard<std::mutex> lock(sessionsMu_);
+    const auto it = sessions_.find(id);
+    return it == sessions_.end() ? nullptr : it->second;
+}
+
+SubmitResult
+ServingRuntime::submit(SessionId id)
+{
+    const std::shared_ptr<detail::Session> s = find(id);
+    if (!s)
+        return {SubmitStatus::UnknownSession, 0};
+    if (s->draining.load(std::memory_order_acquire))
+        return {SubmitStatus::Draining, s->ring.size()};
+    if (s->accepted.load(std::memory_order_relaxed) >= s->numInputs)
+        return {SubmitStatus::Exhausted, s->ring.size()};
+    auto &m = servingMetrics();
+    if (!s->ring.tryPush(s->now())) {
+        s->rejected.fetch_add(1, std::memory_order_relaxed);
+        m.inputsRejected.inc();
+        return {SubmitStatus::Backpressure, s->ring.size()};
+    }
+    s->accepted.fetch_add(1, std::memory_order_relaxed);
+    m.inputsSubmitted.inc();
+    return {SubmitStatus::Accepted, s->ring.size()};
+}
+
+bool
+ServingRuntime::closeChunk(SessionId id)
+{
+    const std::shared_ptr<detail::Session> s = find(id);
+    if (!s)
+        return false;
+    bool closedSomething = false;
+    {
+        const std::lock_guard<std::mutex> lock(s->consumerMu);
+        const auto close = [&](bool deadline, bool drainClose) {
+            closeOpen(*s, deadline, drainClose);
+            closedSomething = true;
+        };
+        drainRingLocked(*s, close);
+        if (!s->open.empty())
+            close(false, false);
+    }
+    scheduleStrandIfWork(s);
+    return closedSomething;
+}
+
+void
+ServingRuntime::drain(SessionId id)
+{
+    const std::shared_ptr<detail::Session> s = find(id);
+    if (!s)
+        return;
+    const bool first =
+        !s->draining.exchange(true, std::memory_order_acq_rel);
+    {
+        const std::lock_guard<std::mutex> lock(s->consumerMu);
+        drainRingLocked(*s,
+                        [&](bool d, bool) { closeOpen(*s, d, false); });
+        if (!s->open.empty())
+            closeOpen(*s, false, true);
+    }
+    scheduleStrandIfWork(s);
+    waitIdle(*s);
+    {
+        const std::lock_guard<std::mutex> lock(s->drainMu);
+        s->drained = true;
+    }
+    if (first)
+        servingMetrics().sessionsDrained.inc();
+}
+
+void
+ServingRuntime::evict(SessionId id)
+{
+    const std::shared_ptr<detail::Session> s = find(id);
+    if (!s)
+        return;
+    drain(id);
+    {
+        const std::lock_guard<std::mutex> lock(sessionsMu_);
+        sessions_.erase(id);
+    }
+    // The drain above guarantees no strand is in flight, so the
+    // pipeline's committed state (and with it every BlockArena block
+    // the session held) is released here, on the evictor's thread.
+    s->pipeline.releaseState();
+    auto &m = servingMetrics();
+    m.sessionsEvicted.inc();
+    m.sessionsActive.sub(1);
+}
+
+void
+ServingRuntime::pollSession(detail::Session &s, TimePoint nowStamp)
+{
+    const std::lock_guard<std::mutex> lock(s.consumerMu);
+    drainRingLocked(s, [&](bool d, bool) { closeOpen(s, d, false); });
+    if (s.cfg.latencyBudget.count() > 0 && !s.open.empty() &&
+        nowStamp - s.open.front() >= s.cfg.latencyBudget)
+        closeOpen(s, /*deadline=*/true, /*drainClose=*/false);
+}
+
+void
+ServingRuntime::poll()
+{
+    std::vector<std::shared_ptr<detail::Session>> snapshot;
+    {
+        const std::lock_guard<std::mutex> lock(sessionsMu_);
+        snapshot.reserve(sessions_.size());
+        for (const auto &entry : sessions_)
+            snapshot.push_back(entry.second);
+    }
+    const TimePoint nowStamp = now();
+    for (const std::shared_ptr<detail::Session> &s : snapshot) {
+        pollSession(*s, nowStamp);
+        scheduleStrandIfWork(s);
+    }
+}
+
+void
+ServingRuntime::coordinatorLoop()
+{
+    std::unique_lock<std::mutex> lock(coordMu_);
+    while (!stopping_) {
+        coordCv_.wait_for(lock, opts_.pollPeriod,
+                          [this] { return stopping_; });
+        if (stopping_)
+            break;
+        lock.unlock();
+        poll();
+        lock.lock();
+    }
+}
+
+std::size_t
+ServingRuntime::activeSessions() const
+{
+    const std::lock_guard<std::mutex> lock(sessionsMu_);
+    return sessions_.size();
+}
+
+SessionStats
+ServingRuntime::sessionStats(SessionId id) const
+{
+    SessionStats stats;
+    const std::shared_ptr<detail::Session> s = find(id);
+    if (!s)
+        return stats;
+    stats.submitted = s->accepted.load(std::memory_order_relaxed);
+    stats.rejected = s->rejected.load(std::memory_order_relaxed);
+    stats.chunksClosed = s->chunksClosed.load(std::memory_order_relaxed);
+    stats.deadlineClosures =
+        s->deadlineClosures.load(std::memory_order_relaxed);
+    stats.chunksProcessed =
+        s->chunksProcessed.load(std::memory_order_relaxed);
+    stats.commits = s->commits.load(std::memory_order_relaxed);
+    stats.aborts = s->aborts.load(std::memory_order_relaxed);
+    stats.outputsDelivered =
+        s->outputsDelivered.load(std::memory_order_relaxed);
+    stats.draining = s->draining.load(std::memory_order_relaxed);
+    {
+        const std::lock_guard<std::mutex> lock(s->drainMu);
+        stats.drained = s->drained;
+    }
+    return stats;
+}
+
+const char *
+submitStatusName(SubmitStatus status)
+{
+    switch (status) {
+    case SubmitStatus::Accepted:
+        return "accepted";
+    case SubmitStatus::Backpressure:
+        return "backpressure";
+    case SubmitStatus::Draining:
+        return "draining";
+    case SubmitStatus::Exhausted:
+        return "exhausted";
+    case SubmitStatus::UnknownSession:
+        return "unknown-session";
+    }
+    return "invalid";
+}
+
+} // namespace repro::serving

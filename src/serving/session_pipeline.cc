@@ -1,0 +1,168 @@
+#include "serving/session_pipeline.h"
+
+#include <utility>
+
+#include "util/log.h"
+#include "util/thread_pool.h"
+
+namespace repro::serving {
+
+namespace {
+
+using core::ExecContext;
+using core::IStateModel;
+using core::State;
+using core::StateHandle;
+using trace::TaskKind;
+
+/** Runs updates [from, to) on @p state with @p rng — the same span
+ *  primitive the batch runtime uses, so the state and RNG evolution
+ *  per chunk are step-for-step identical. */
+void
+runSpan(const IStateModel &model, State &state, std::size_t from,
+        std::size_t to, util::Rng &rng, double *outs, TaskKind kind)
+{
+    ExecContext ctx(rng, nullptr, kind);
+    for (std::size_t i = from; i < to; ++i) {
+        const double out = model.update(state, i, ctx);
+        if (outs)
+            outs[i - from] = out;
+    }
+    rng = ctx.rng();
+}
+
+} // namespace
+
+SessionPipeline::SessionPipeline(const IStateModel &model, Config config,
+                                 std::uint64_t seed,
+                                 util::ThreadPool *pool)
+    : model_(model), cfg_(config), base_(seed), pool_(pool)
+{
+    REPRO_ASSERT(cfg_.numOriginalStates >= 1,
+                 "session needs numOriginalStates >= 1");
+}
+
+void
+SessionPipeline::commitChunk(StateHandle final_state, StateHandle snapshot,
+                             std::size_t snap, std::size_t end)
+{
+    committedFinal_ = std::move(final_state);
+    committedSnapshot_ = std::move(snapshot);
+    committedSnapStart_ = snap;
+    committedEnd_ = end;
+}
+
+SessionPipeline::ChunkResult
+SessionPipeline::processChunk(std::size_t count)
+{
+    REPRO_ASSERT(count >= 1, "closed chunk must contain inputs");
+    REPRO_ASSERT(committedFinal_ != nullptr || chunkIndex_ == 0,
+                 "pipeline used after releaseState()");
+    const std::size_t start = nextInput_;
+    const std::size_t end = start + count;
+    const unsigned c = chunkIndex_;
+    const std::size_t K = cfg_.altWindowK;
+    // Snapshot point: end-K clamped into the chunk, exactly the batch
+    // runtime's max(begin, end - K).
+    const std::size_t snap = end - start > K ? end - K : start;
+
+    ChunkResult result;
+    result.chunkIndex = c;
+    result.firstInput = start;
+    result.outputs.resize(count);
+
+    if (c == 0) {
+        // The first chunk runs from the program's initial state — it
+        // is never speculative and commits as it is.
+        StateHandle working = model_.initialState();
+        util::Rng rng = base_.split(1000);
+        runSpan(model_, *working, start, snap, rng,
+                result.outputs.data(), TaskKind::ChunkBody);
+        StateHandle snapshot = working->clone();
+        runSpan(model_, *working, snap, end, rng,
+                result.outputs.data() + (snap - start),
+                TaskKind::ChunkBody);
+        commitChunk(std::move(working), std::move(snapshot), snap, end);
+        nextInput_ = end;
+        ++chunkIndex_;
+        return result;
+    }
+
+    // Speculate chunk c: alternative producer replays the last K
+    // inputs (streams: split(2000 + c)), the entry state is cloned for
+    // the commit check, then the body runs (split(1000 + c)) with the
+    // snapshot clone splitting it at end-K.
+    StateHandle working = model_.coldState();
+    util::Rng alt_rng = base_.split(2000 + c);
+    const std::size_t alt_from = start >= K ? start - K : 0;
+    runSpan(model_, *working, alt_from, start, alt_rng, nullptr,
+            TaskKind::AltProducer);
+    StateHandle spec_entry = working->clone();
+    util::Rng body_rng = base_.split(1000 + c);
+    runSpan(model_, *working, start, snap, body_rng,
+            result.outputs.data(), TaskKind::ChunkBody);
+    StateHandle snapshot = working->clone();
+    runSpan(model_, *working, snap, end, body_rng,
+            result.outputs.data() + (snap - start), TaskKind::ChunkBody);
+
+    // Boundary c-1: regenerate the R-1 original-state replicas from
+    // the committed snapshot (streams: split(3000 + (c-1)*128 + rep)),
+    // replaying the boundary inputs [snap_{c-1}, end_{c-1}).  Replicas
+    // are independent — fan out on the pool when one is available; the
+    // commit check below stays strictly ordered either way.
+    const unsigned R = cfg_.numOriginalStates;
+    std::vector<StateHandle> replicas(R - 1);
+    const auto regenerate = [&](std::size_t rep) {
+        StateHandle replica = committedSnapshot_->clone();
+        util::Rng rng = base_.split(3000 + (c - 1) * 128 + rep);
+        runSpan(model_, *replica, committedSnapStart_, committedEnd_,
+                rng, nullptr, TaskKind::OriginalStateGen);
+        replicas[rep] = std::move(replica);
+    };
+    if (pool_ && replicas.size() > 1) {
+        pool_->parallelFor(replicas.size(), regenerate);
+    } else {
+        for (std::size_t rep = 0; rep < replicas.size(); ++rep)
+            regenerate(rep);
+    }
+
+    // Commit check (paper Fig. 6): the speculative entry state against
+    // the committed final state, then each replica in order.
+    bool matched = model_.matches(*spec_entry, *committedFinal_);
+    for (std::size_t rep = 0; !matched && rep < replicas.size(); ++rep)
+        matched = model_.matches(*spec_entry, *replicas[rep]);
+
+    if (matched) {
+        ++commits_;
+        commitChunk(std::move(working), std::move(snapshot), snap, end);
+    } else {
+        // Abort: re-execute the chunk from the committed final state
+        // (streams: split(5000 + c)); the re-executed outputs replace
+        // the speculative ones.
+        ++aborts_;
+        result.aborted = true;
+        StateHandle redo = committedFinal_->clone();
+        util::Rng redo_rng = base_.split(5000 + c);
+        runSpan(model_, *redo, start, snap, redo_rng,
+                result.outputs.data(), TaskKind::MispecReExec);
+        StateHandle redo_snapshot = redo->clone();
+        runSpan(model_, *redo, snap, end, redo_rng,
+                result.outputs.data() + (snap - start),
+                TaskKind::MispecReExec);
+        commitChunk(std::move(redo), std::move(redo_snapshot), snap,
+                    end);
+    }
+
+    nextInput_ = end;
+    ++chunkIndex_;
+    return result;
+}
+
+void
+SessionPipeline::releaseState()
+{
+    committedFinal_.reset();
+    committedSnapshot_.reset();
+}
+
+} // namespace repro::serving

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The STATS protocol of one serving session, fed chunk-by-chunk.
+ *
+ * NativeRuntime::run (core/native_runtime.h) executes the protocol in
+ * batch: all chunk boundaries are known up front because the whole
+ * input vector is.  A serving session learns its boundaries one at a
+ * time — the runtime closes a chunk when it reaches the configured
+ * size or when its age exceeds the session's latency budget — so the
+ * protocol must run *incrementally*: speculate the newly closed chunk
+ * from the alternative producer, regenerate the previous boundary's
+ * original-state replicas, run the commit check, and either commit the
+ * speculative outputs or re-execute from the committed state.
+ *
+ * Determinism contract: every RNG stream is derived exactly as the
+ * batch runtime derives it (body split(1000+c), alt producer
+ * split(2000+c), replica split(3000+c*128+rep), re-execution
+ * split(5000+c)), and the commit check compares against the committed
+ * final state first and then each replica in order.  Therefore, for a
+ * fixed (model, seed) and a fixed *closure trace* (the sequence of
+ * chunk sizes), the outputs, commit decisions, and abort count are a
+ * pure function of that trace — independent of wall-clock timing, of
+ * which closure mechanism (size, deadline, drain, manual) produced
+ * each boundary, and of how many sessions share the pool.  When the
+ * trace matches the batch runtime's boundaries (inputs split n*c/C)
+ * the outputs are bit-identical to NativeRuntime::run for the same
+ * (model, config, seed), across both commit protocols and both
+ * StateVersioning modes — the oracle tests in tests/serving pin this.
+ *
+ * Two intentional structural differences from batch, neither of which
+ * can change outputs: every chunk takes an end-of-chunk snapshot (the
+ * batch runtime skips the last chunk's, but a stream never knows which
+ * chunk is last — a clone consumes no RNG and does not perturb the
+ * state), and replicas always regenerate from the *committed* snapshot
+ * (the batch pipelined schedule launches them eagerly from speculative
+ * snapshots, but discards and regenerates them with the same streams
+ * whenever that snapshot failed to commit, so the surviving replica
+ * states are identical).
+ *
+ * Threading: a pipeline instance is single-strand — the serving
+ * runtime guarantees at most one processChunk() call is in flight per
+ * session.  Replica regeneration inside a call may fan out on the
+ * shared ThreadPool (replicas are independent and write disjoint
+ * slots; the commit check that consumes them stays sequential), which
+ * is the only intra-session parallelism — cross-session parallelism
+ * is the serving runtime's job.
+ */
+
+#ifndef REPRO_SERVING_SESSION_PIPELINE_H
+#define REPRO_SERVING_SESSION_PIPELINE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/state_model.h"
+#include "util/rng.h"
+
+namespace repro::util {
+class ThreadPool;
+} // namespace repro::util
+
+namespace repro::serving {
+
+/**
+ * Incremental executor of the STATS protocol over one input stream.
+ */
+class SessionPipeline
+{
+  public:
+    /** The per-dependence STATS parameters a session carries (the
+     *  chunk length is not here — it is the closure trace). */
+    struct Config
+    {
+        /** Inputs the alternative producer replays before a chunk
+         *  (clamped to the stream start for very early chunks). */
+        unsigned altWindowK = 2;
+
+        /** Original states per boundary including the chunk's own
+         *  final state (>= 1); R-1 replicas are regenerated. */
+        unsigned numOriginalStates = 1;
+    };
+
+    /** Outcome of one processed chunk. */
+    struct ChunkResult
+    {
+        unsigned chunkIndex = 0;  //!< 0-based position in the stream.
+        std::size_t firstInput = 0; //!< Stream index of outputs[0].
+        bool aborted = false;     //!< Commit check rejected; outputs
+                                  //!< are from the re-execution.
+        std::vector<double> outputs; //!< One per input of the chunk.
+    };
+
+    /**
+     * @param model State dependence; must outlive the pipeline.
+     * @param config STATS parameters of this session.
+     * @param seed Base seed — the same value an equivalent batch
+     *        NativeRuntime::run would be given.
+     * @param pool Optional pool for replica fan-out (null = serial;
+     *        results are bit-identical either way).
+     */
+    SessionPipeline(const core::IStateModel &model, Config config,
+                    std::uint64_t seed,
+                    util::ThreadPool *pool = nullptr);
+
+    /**
+     * Runs the protocol over the next @p count inputs of the stream
+     * (indices [nextInput(), nextInput() + count)) as one closed
+     * chunk.  @pre count >= 1 and the chunk stays within the model's
+     * input range.
+     */
+    ChunkResult processChunk(std::size_t count);
+
+    /** Stream index the next chunk starts at. */
+    std::size_t nextInput() const { return nextInput_; }
+
+    /** Chunks processed so far (== the next chunk's index). */
+    unsigned chunksProcessed() const { return chunkIndex_; }
+
+    /** Boundaries whose commit check accepted the speculation. */
+    unsigned commits() const { return commits_; }
+
+    /** Boundaries that aborted and re-executed. */
+    unsigned aborts() const { return aborts_; }
+
+    /**
+     * Releases the committed state and snapshot (BlockArena payloads
+     * drop their references).  Called at session eviction; the
+     * pipeline must not process further chunks afterwards.
+     */
+    void releaseState();
+
+  private:
+    /** Installs the committed products of the chunk just resolved. */
+    void commitChunk(core::StateHandle final_state,
+                     core::StateHandle snapshot, std::size_t snap,
+                     std::size_t end);
+
+    const core::IStateModel &model_;
+    const Config cfg_;
+    const util::Rng base_;
+    util::ThreadPool *pool_;
+
+    std::size_t nextInput_ = 0;
+    unsigned chunkIndex_ = 0;
+    unsigned commits_ = 0;
+    unsigned aborts_ = 0;
+
+    // Committed products of the most recently resolved chunk: the
+    // final state feeds the next commit check (and abort re-execution),
+    // the snapshot feeds the next boundary's replica regeneration.
+    core::StateHandle committedFinal_;
+    core::StateHandle committedSnapshot_;
+    std::size_t committedSnapStart_ = 0; //!< Snapshot's input index.
+    std::size_t committedEnd_ = 0;       //!< End of the committed chunk.
+};
+
+} // namespace repro::serving
+
+#endif // REPRO_SERVING_SESSION_PIPELINE_H

@@ -2,6 +2,7 @@
 
 #include <new>
 
+#include "metrics/metrics.h"
 #include "util/log.h"
 
 namespace repro::util {
@@ -9,6 +10,30 @@ namespace repro::util {
 namespace {
 
 constexpr std::size_t kCacheCap = 64; //!< Blocks per thread cache.
+
+/**
+ * Occupancy/reclaim instruments of the *global* arena (private test
+ * arenas stay unmetered so unit tests do not pollute the process
+ * snapshot).  The live gauge lets the serving layer assert that
+ * evicting a session returns every block it held — a slow block leak
+ * in a long-running server shows up here before it shows up as RSS.
+ */
+struct ArenaMetrics
+{
+    metrics::Gauge &blocksLive;     //!< state.arena_blocks_live.
+    metrics::Counter &blocksFreed;  //!< state.arena_blocks_freed.
+    metrics::Counter &blocksAllocated; //!< state.arena_blocks_allocated.
+};
+
+ArenaMetrics &
+arenaMetrics()
+{
+    auto &reg = metrics::MetricsRegistry::global();
+    static ArenaMetrics m{reg.gauge("state.arena_blocks_live"),
+                          reg.counter("state.arena_blocks_freed"),
+                          reg.counter("state.arena_blocks_allocated")};
+    return m;
+}
 
 /**
  * Per-thread cache of free blocks of the *global* arena.  Pool workers
@@ -77,6 +102,10 @@ BlockArena::allocate()
     }
     b->invalidateHash();
     live_.fetch_add(1, std::memory_order_relaxed);
+    if (instrumented_) {
+        arenaMetrics().blocksLive.add(1);
+        arenaMetrics().blocksAllocated.inc();
+    }
     return b;
 }
 
@@ -84,6 +113,11 @@ void
 BlockArena::recycle(Block *b)
 {
     live_.fetch_sub(1, std::memory_order_relaxed);
+    freed_.fetch_add(1, std::memory_order_relaxed);
+    if (instrumented_) {
+        arenaMetrics().blocksLive.sub(1);
+        arenaMetrics().blocksFreed.inc();
+    }
     if (threadCached_) {
         ThreadBlockCache &cache = threadCache();
         if (cache.owner == nullptr)
@@ -116,6 +150,7 @@ BlockArena::global()
     static BlockArena *arena = [] {
         auto *a = new BlockArena(kDefaultBlockBytes);
         a->threadCached_ = true;
+        a->instrumented_ = true;
         return a;
     }();
     return *arena;

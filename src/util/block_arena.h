@@ -140,6 +140,15 @@ class BlockArena
         return allocated_.load(std::memory_order_relaxed);
     }
 
+    /** Blocks whose last reference was ever dropped (reclaims; a
+     *  recycled-and-reallocated block counts once per cycle).  Session
+     *  eviction tests pin liveBlocks() back to its pre-admit value and
+     *  this counter's growth to the blocks the session had held. */
+    std::size_t freedBlocks() const
+    {
+        return freed_.load(std::memory_order_relaxed);
+    }
+
     /**
      * The process-wide arena (page-sized blocks).  Immortal, like the
      * metrics registry: worker threads flushing their block caches
@@ -156,13 +165,16 @@ class BlockArena
     Block *popCentral();
 
     const std::size_t blockBytes_;
-    bool threadCached_ = false; //!< Only the global arena.
+    bool threadCached_ = false;  //!< Only the global arena.
+    bool instrumented_ = false;  //!< Global arena: export state.arena_*
+                                 //!< occupancy metrics.
 
     mutable std::mutex mutex_;
     Block *freeList_ = nullptr;  //!< Guarded by mutex_.
     std::vector<void *> slabs_;  //!< Guarded by mutex_.
     std::atomic<std::size_t> live_{0};
     std::atomic<std::size_t> allocated_{0};
+    std::atomic<std::size_t> freed_{0};
 };
 
 } // namespace repro::util

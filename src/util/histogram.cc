@@ -50,6 +50,12 @@ Histogram::addAll(const std::vector<double> &values)
 void
 Histogram::merge(const Histogram &other)
 {
+    // An empty histogram carries no samples, so there is nothing a
+    // shape mismatch could misplace — treat it as the neutral element
+    // (metrics shards and per-session histograms start life empty and
+    // are merged long before their first sample).
+    if (other.total_ == 0)
+        return;
     REPRO_ASSERT(lo_ == other.lo_ && hi_ == other.hi_ &&
                      counts.size() == other.counts.size(),
                  "merging histograms with different shapes");
@@ -63,8 +69,13 @@ Histogram::merge(const Histogram &other)
 double
 Histogram::quantile(double p) const
 {
-    REPRO_ASSERT(total_ > 0, "quantile of an empty histogram");
     REPRO_ASSERT(p >= 0.0 && p <= 1.0, "quantile order outside [0, 1]");
+    // Empty histograms have no sample to interpolate between; lo is
+    // the defined answer (serving dashboards read p99 of latency
+    // histograms that have not seen traffic yet — that must be "zero
+    // latency", not UB).
+    if (total_ == 0)
+        return lo_;
     const double target = p * static_cast<double>(total_);
     // Clamped-low mass sits exactly at lo (it only *renders* inside
     // the first bin); interpolating it would fabricate in-range values.

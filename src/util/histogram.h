@@ -47,8 +47,10 @@ class Histogram
     void addAll(const std::vector<double> &values);
 
     /**
-     * Adds every sample of @p other into this histogram.
-     * @pre Identical range and bin count.
+     * Adds every sample of @p other into this histogram.  Merging an
+     * *empty* histogram is a no-op whatever its shape (a never-touched
+     * shard must never poison an aggregation); a non-empty @p other
+     * must have an identical range and bin count.
      */
     void merge(const Histogram &other);
 
@@ -73,7 +75,11 @@ class Histogram
     /**
      * The @p p quantile (p in [0, 1]) under a piecewise-uniform model:
      * in-range samples spread evenly inside their bin, clamped samples
-     * sit exactly at lo/hi.  @pre total() > 0.
+     * sit exactly at lo/hi.  Defined for *every* histogram state the
+     * serving layer can observe before traffic arrives: an empty
+     * histogram returns lo (the only value that keeps quantiles
+     * monotone in p without fabricating mass), and a single-sample
+     * histogram returns a value inside the sample's bin for every p.
      */
     double quantile(double p) const;
 

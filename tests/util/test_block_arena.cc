@@ -106,6 +106,46 @@ TEST(BlockArena, ConcurrentRetainReleaseKeepsCounts)
     EXPECT_EQ(arena.liveBlocks(), 0u);
 }
 
+TEST(BlockArena, FreedBlocksCountsEveryReclaim)
+{
+    BlockArena arena(256);
+    EXPECT_EQ(arena.freedBlocks(), 0u);
+    BlockArena::Block *a = arena.allocate();
+    BlockArena::Block *b = arena.allocate();
+    arena.release(a);
+    EXPECT_EQ(arena.freedBlocks(), 1u);
+    // A shared block is reclaimed only by its *last* release.
+    BlockArena::retain(b);
+    arena.release(b);
+    EXPECT_EQ(arena.freedBlocks(), 1u);
+    arena.release(b);
+    EXPECT_EQ(arena.freedBlocks(), 2u);
+    // A recycled-and-reallocated block counts once per cycle.
+    BlockArena::Block *c = arena.allocate();
+    arena.release(c);
+    EXPECT_EQ(arena.freedBlocks(), 3u);
+    EXPECT_EQ(arena.allocatedBlocks(), 2u);
+    EXPECT_EQ(arena.liveBlocks(), 0u);
+}
+
+TEST(BlockArena, LiveFreedAndAllocatedStayConsistent)
+{
+    BlockArena arena(256);
+    std::vector<BlockArena::Block *> held;
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 5; ++i)
+            held.push_back(arena.allocate());
+        EXPECT_EQ(arena.liveBlocks() + arena.freedBlocks(),
+                  static_cast<std::size_t>((round + 1) * 5));
+        for (BlockArena::Block *blk : held)
+            arena.release(blk);
+        held.clear();
+        EXPECT_EQ(arena.liveBlocks(), 0u);
+    }
+    EXPECT_EQ(arena.freedBlocks(), 15u);
+    EXPECT_EQ(arena.allocatedBlocks(), 5u); // Free list fed every round.
+}
+
 TEST(Blockops, WordsEqualMatchesMemcmpAcrossSizes)
 {
     Rng rng(7);
