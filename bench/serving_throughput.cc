@@ -25,10 +25,33 @@
  *   --chunk=<n>         inputs per chunk              (default 16)
  *   --budget-ms=<n>     per-session latency budget    (default 50)
  *   --out=<path>        also write the JSON to a file
+ *
+ * Adaptive A/B (src/adapt feedback controller) under a shifting-traffic
+ * schedule — each arm serves the same phase-shifted load (base rate for
+ * half the duration, base * mult for the rest) from a deliberately
+ * small starting chunk; the "on" arm retunes live, the "off" arm stays
+ * fixed.  The default shift is a traffic spike: phase 2 offers far
+ * more than the start tuning can serve, so the off arm saturates and
+ * its wall clock exposes the per-chunk boundary cost the controller
+ * amortizes away.  The A/B pins streamclassifier at its own (longer)
+ * stream scale — --adapt-scale, past the factory's paper-size cap —
+ * because saturating a ~3 us/input workload takes O(100k) inputs.
+ * The JSON gains "adapt_ab" (both arms + the decision trace) and
+ * "frozen_check" (a Frozen-mode adaptive batch run digest-compared
+ * against NativeRuntime::run — the bit-replayability gate):
+ *   --adapt=off|on|both   run the A/B (on == both)    (default off)
+ *   --phase-shift=<mult>  phase-2 rate multiplier      (default 200)
+ *   --adapt-rate=<n>      phase-1 inputs/sec/session   (default 2000)
+ *   --adapt-duration=<s>  total A/B phase seconds      (default 0.75)
+ *   --adapt-sessions=<n>  sessions per arm             (default 2)
+ *   --adapt-scale=<x>     A/B stream length multiplier (default 280)
  */
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -36,11 +59,16 @@
 #include <thread>
 #include <vector>
 
+#include "adapt/adaptive_runner.h"
+#include "adapt/controller.h"
+#include "adapt/serving_adaptor.h"
 #include "bench/bench_common.h"
+#include "core/native_runtime.h"
 #include "metrics/metrics.h"
 #include "serving/serving_runtime.h"
 #include "util/cli.h"
 #include "util/log.h"
+#include "workloads/streamclassifier.h"
 #include "workloads/workload.h"
 
 namespace {
@@ -50,6 +78,7 @@ using repro::serving::ServingOptions;
 using repro::serving::ServingRuntime;
 using repro::serving::SessionConfig;
 using repro::serving::SessionId;
+using repro::serving::SessionTuning;
 using repro::serving::SubmitStatus;
 
 using Clock = std::chrono::steady_clock;
@@ -99,6 +128,183 @@ produce(ServingRuntime &runtime, SessionId id, double rate,
     }
 }
 
+/** One arm of the adaptive A/B. */
+struct AdaptArm
+{
+    double seconds = 0.0;
+    std::uint64_t delivered = 0;
+    std::uint64_t decisionsTotal = 0;
+    std::uint64_t decisionsApplied = 0;
+    std::uint64_t dwellViolations = 0;
+    SessionTuning finalTuning;
+    std::string decisionsJson = "[]";
+
+    double
+    inputsPerSec() const
+    {
+        return seconds > 0.0 ? static_cast<double>(delivered) / seconds
+                             : 0.0;
+    }
+};
+
+/** Paces one session through the two-phase schedule: @p n1 inputs at
+ *  @p rate1, then @p n2 at @p rate2 (the traffic shift).  Retries on
+ *  backpressure, so both arms eventually offer the same load and the
+ *  wall clock absorbs the difference. */
+void
+producePhased(ServingRuntime &runtime, SessionId id, double rate1,
+              std::size_t n1, double rate2, std::size_t n2)
+{
+    const auto pace = [&](double rate, std::size_t count) {
+        const auto interval =
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(1.0 / rate));
+        const Clock::time_point start = Clock::now();
+        for (std::size_t n = 0; n < count; ++n) {
+            std::this_thread::sleep_until(start + interval * (n + 1));
+            for (;;) {
+                const auto result = runtime.submit(id);
+                if (result.status == SubmitStatus::Accepted)
+                    break;
+                if (result.status == SubmitStatus::Exhausted)
+                    return;
+                std::this_thread::yield();
+            }
+        }
+    };
+    pace(rate1, n1);
+    pace(rate2, n2);
+}
+
+/** Runs one A/B arm: @p sessions streams through the phase-shift
+ *  schedule, optionally with the feedback controller live. */
+AdaptArm
+runAdaptArm(const repro::core::IStateModel &model, std::uint64_t seed,
+            bool adaptive, unsigned sessions, double baseRate,
+            double shiftMult, double duration,
+            std::chrono::milliseconds budget)
+{
+    MetricsRegistry::global().resetAll();
+    AdaptArm arm;
+
+    const std::size_t n1 =
+        static_cast<std::size_t>(baseRate * duration / 2.0);
+    const std::size_t n2 = static_cast<std::size_t>(
+        baseRate * shiftMult * duration / 2.0);
+    REPRO_ASSERT(n1 + n2 <= model.numInputs(),
+                 "phase-shift schedule exceeds the workload stream");
+
+    // Both arms start from the same deliberately small chunk — tuned
+    // for the low-rate phase; only the "on" arm may leave it.
+    const SessionTuning start{8, 2, 1};
+
+    ServingOptions sopt;
+    sopt.pollPeriod = std::chrono::microseconds(200);
+    ServingRuntime runtime(sopt);
+    std::vector<SessionId> ids(sessions);
+    for (unsigned i = 0; i < sessions; ++i) {
+        SessionConfig cfg;
+        cfg.seed = seed + i;
+        cfg.chunkInputs = start.chunkInputs;
+        cfg.stats.altWindowK = start.altWindowK;
+        cfg.stats.numOriginalStates = start.numOriginalStates;
+        // Deep enough that burst producers park on backpressure only
+        // when the service thread is genuinely behind — on one core a
+        // spinning producer would otherwise steal the cycles being
+        // measured.
+        cfg.queueCapacity = 4096;
+        cfg.latencyBudget = budget;
+        ids[i] = runtime.admit(model, cfg);
+    }
+
+    repro::adapt::ServingAdaptor::Options ao;
+    ao.controller.initial = start;
+    ao.controller.latencyBudgetSeconds =
+        std::chrono::duration<double>(budget).count();
+    // A 50 ms saturated window carries O(10k) inputs of evidence, so
+    // the default dwell spacing is overly cautious here: tick fast and
+    // allow back-to-back-window decisions, or the spike ends before
+    // the controller has climbed out of the start tuning.
+    ao.controller.dwellWindows = 1;
+    repro::adapt::ServingAdaptor adaptor(runtime, ao);
+    const auto tickPeriod = std::chrono::milliseconds(50);
+
+    const Clock::time_point startTime = Clock::now();
+    std::atomic<bool> done{false};
+    std::vector<std::thread> producers;
+    for (unsigned i = 0; i < sessions; ++i)
+        producers.emplace_back([&, i] {
+            producePhased(runtime, ids[i], baseRate, n1,
+                          baseRate * shiftMult, n2);
+        });
+    // The controller ticks on this thread (no extra worker on a
+    // single-core host); the "off" arm simply never ticks.
+    std::thread ticker;
+    if (adaptive)
+        ticker = std::thread([&] {
+            while (!done.load()) {
+                std::this_thread::sleep_for(tickPeriod);
+                (void)adaptor.tick();
+            }
+        });
+    for (std::thread &t : producers)
+        t.join();
+    for (const SessionId id : ids)
+        runtime.drain(id);
+    // Stop the clock before joining the ticker: it sleeps in 50 ms
+    // slices, and charging a partial sleep to the adaptive arm would
+    // skew a sub-second measurement.
+    arm.seconds =
+        std::chrono::duration<double>(Clock::now() - startTime).count();
+    done.store(true);
+    if (ticker.joinable())
+        ticker.join();
+    for (const SessionId id : ids) {
+        const auto stats = runtime.sessionStats(id);
+        arm.delivered += stats.outputsDelivered;
+        arm.finalTuning = stats.tuning;
+        runtime.evict(id);
+    }
+    const auto &controller = adaptor.controller();
+    arm.decisionsTotal = controller.decisions().size();
+    for (const auto &d : controller.decisions())
+        arm.decisionsApplied += d.applied ? 1 : 0;
+    arm.dwellViolations = controller.dwellViolations();
+    arm.decisionsJson =
+        repro::adapt::decisionsToJson(controller.decisions(), "    ");
+    if (!adaptive)
+        arm.finalTuning = start;
+    return arm;
+}
+
+/** FNV-1a 64 over the raw double bits — the output digest the frozen
+ *  check compares. */
+std::uint64_t
+outputDigest(const std::vector<double> &outputs)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (const double v : outputs) {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        for (int b = 0; b < 8; ++b) {
+            h ^= (bits >> (8 * b)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    }
+    return h;
+}
+
+std::string
+tuningJson(const SessionTuning &t)
+{
+    std::ostringstream os;
+    os << "{\"chunk_inputs\": " << t.chunkInputs
+       << ", \"alt_window_k\": " << t.altWindowK
+       << ", \"num_original_states\": " << t.numOriginalStates << "}";
+    return os.str();
+}
+
 } // namespace
 
 int
@@ -117,6 +323,17 @@ main(int argc, char **argv)
     const auto budget =
         std::chrono::milliseconds(cli.getInt("budget-ms", 50));
     const std::string out_path = cli.getString("out", "");
+    const std::string adapt_mode = cli.getString("adapt", "off");
+    REPRO_ASSERT(adapt_mode == "off" || adapt_mode == "on" ||
+                     adapt_mode == "both",
+                 "--adapt must be off, on, or both");
+    const bool run_adapt = adapt_mode != "off";
+    const double phase_shift = cli.getDouble("phase-shift", 200.0);
+    const double adapt_rate = cli.getDouble("adapt-rate", 2000.0);
+    const double adapt_duration = cli.getDouble("adapt-duration", 0.75);
+    const unsigned adapt_sessions =
+        static_cast<unsigned>(cli.getInt("adapt-sessions", 2));
+    const double adapt_scale = cli.getDouble("adapt-scale", 280.0);
     const repro::bench::MetricsScope metrics_scope(opt);
 
     const auto workload =
@@ -195,6 +412,49 @@ main(int argc, char **argv)
         series.push_back(r);
     }
 
+    // Adaptive A/B + frozen bit-replayability check.
+    AdaptArm arm_off;
+    AdaptArm arm_on;
+    std::uint64_t digest_batch = 0;
+    std::uint64_t digest_frozen = 0;
+    std::size_t frozen_decisions = 0;
+    if (run_adapt) {
+        // The A/B needs a stream long enough to keep the service
+        // thread saturated through the phase-2 spike — O(100k) inputs
+        // at ~3 us each.  The factory caps scale at the paper-sized
+        // stream, so the A/B pins streamclassifier and extends it
+        // directly (the ctor only lengthens the generated stream).
+        const repro::workloads::StreamclassifierWorkload adapt_workload(
+            adapt_scale);
+        const auto &adapt_model = adapt_workload.model();
+        arm_off = runAdaptArm(adapt_model, opt.seed, /*adaptive=*/false,
+                              adapt_sessions, adapt_rate, phase_shift,
+                              adapt_duration, budget);
+        arm_on = runAdaptArm(adapt_model, opt.seed, /*adaptive=*/true,
+                             adapt_sessions, adapt_rate, phase_shift,
+                             adapt_duration, budget);
+
+        // Frozen check: an adaptive batch run that never applies a
+        // decision must digest-match NativeRuntime::run exactly.
+        repro::core::StatsConfig fc;
+        fc.numChunks = 8;
+        fc.altWindowK = 2;
+        fc.numOriginalStates = 1;
+        const repro::core::NativeRuntime native(0);
+        const auto oracle = native.run(model, fc, opt.seed);
+        MetricsRegistry::global().resetAll();
+        repro::adapt::AdaptiveBatchOptions fopts;
+        fopts.controller.mode = repro::adapt::ControllerMode::Frozen;
+        fopts.controller.warmupWindows = 1;
+        fopts.controller.dwellWindows = 0;
+        fopts.controller.deadband = 0.01;
+        const auto frozen =
+            repro::adapt::runAdaptiveBatch(model, fc, opt.seed, fopts);
+        digest_batch = outputDigest(oracle.outputs);
+        digest_frozen = outputDigest(frozen.outputs);
+        frozen_decisions = frozen.decisions.size();
+    }
+
     std::ostringstream json;
     json << "{\n"
          << "  \"bench\": \"serving_throughput\",\n"
@@ -222,8 +482,49 @@ main(int argc, char **argv)
              << ", \"aborts\": " << r.aborts << "}"
              << (i + 1 < series.size() ? "," : "") << "\n";
     }
-    json << "  ],\n"
-         << "  \"metrics\": " << repro::bench::metricsSnapshotJson("  ")
+    json << "  ],\n";
+    if (run_adapt) {
+        const double speedup =
+            arm_off.inputsPerSec() > 0.0
+                ? arm_on.inputsPerSec() / arm_off.inputsPerSec()
+                : 0.0;
+        json << "  \"adapt_ab\": {\n"
+             << "    \"sessions\": " << adapt_sessions << ",\n"
+             << "    \"base_rate\": " << adapt_rate << ",\n"
+             << "    \"phase_shift\": " << phase_shift << ",\n"
+             << "    \"duration\": " << adapt_duration << ",\n"
+             << "    \"workload_scale\": " << adapt_scale << ",\n"
+             << "    \"start_tuning\": " << tuningJson({8, 2, 1})
+             << ",\n"
+             << "    \"off\": {\"seconds\": " << arm_off.seconds
+             << ", \"delivered\": " << arm_off.delivered
+             << ", \"inputs_per_sec\": " << arm_off.inputsPerSec()
+             << "},\n"
+             << "    \"on\": {\"seconds\": " << arm_on.seconds
+             << ", \"delivered\": " << arm_on.delivered
+             << ", \"inputs_per_sec\": " << arm_on.inputsPerSec()
+             << ",\n"
+             << "      \"decisions_applied\": " << arm_on.decisionsApplied
+             << ", \"dwell_violations\": " << arm_on.dwellViolations
+             << ",\n"
+             << "      \"final_tuning\": "
+             << tuningJson(arm_on.finalTuning) << ",\n"
+             << "      \"decisions\": " << arm_on.decisionsJson << "\n"
+             << "    },\n"
+             << "    \"speedup\": " << speedup << "\n"
+             << "  },\n"
+             << "  \"frozen_check\": {\n"
+             << "    \"digest_batch\": \"" << std::hex << digest_batch
+             << "\",\n"
+             << "    \"digest_frozen\": \"" << digest_frozen << std::dec
+             << "\",\n"
+             << "    \"matches\": "
+             << (digest_batch == digest_frozen ? "true" : "false")
+             << ",\n"
+             << "    \"decisions_recorded\": " << frozen_decisions
+             << "\n  },\n";
+    }
+    json << "  \"metrics\": " << repro::bench::metricsSnapshotJson("  ")
          << "\n}\n";
 
     std::cout << json.str();

@@ -1,0 +1,223 @@
+#include "adapt/adaptive_runner.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "serving/session_pipeline.h"
+#include "util/log.h"
+
+namespace repro::adapt {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Chunk c of the batch boundary schedule: [n*c/C, n*(c+1)/C) — the
+ *  exact NativeRuntime formula, which is what makes the
+ *  pre-divergence prefix (and the whole Frozen run) bit-identical to
+ *  the fixed-config batch run. */
+std::size_t
+batchChunkSize(std::size_t n, unsigned C, unsigned c)
+{
+    return n * (c + 1) / C - n * c / C;
+}
+
+serving::SessionTuning
+initialTuning(std::size_t n, const core::StatsConfig &config)
+{
+    serving::SessionTuning t;
+    t.chunkInputs = (n + config.numChunks - 1) / config.numChunks;
+    t.chunkInputs = std::max<std::size_t>(1, t.chunkInputs);
+    t.altWindowK = config.altWindowK;
+    t.numOriginalStates = config.numOriginalStates;
+    return t;
+}
+
+/** Widens the controller's knob bounds to contain the starting point,
+ *  so the calibrated model scores moves relative to where the run
+ *  actually is (a batch config outside the default box must not be
+ *  silently clamped). */
+void
+includeInBounds(ControllerConfig &cc, const serving::SessionTuning &t)
+{
+    cc.minKnobs.chunkInputs =
+        std::min(cc.minKnobs.chunkInputs, t.chunkInputs);
+    cc.maxKnobs.chunkInputs =
+        std::max(cc.maxKnobs.chunkInputs, t.chunkInputs);
+    cc.minKnobs.altWindowK = std::min(cc.minKnobs.altWindowK, t.altWindowK);
+    cc.maxKnobs.altWindowK = std::max(cc.maxKnobs.altWindowK, t.altWindowK);
+    cc.minKnobs.numOriginalStates =
+        std::min(cc.minKnobs.numOriginalStates, t.numOriginalStates);
+    cc.maxKnobs.numOriginalStates =
+        std::max(cc.maxKnobs.numOriginalStates, t.numOriginalStates);
+}
+
+} // namespace
+
+AdaptiveBatchResult
+runAdaptiveBatch(const core::IStateModel &model,
+                 const core::StatsConfig &config, std::uint64_t seed,
+                 AdaptiveBatchOptions options, util::ThreadPool *pool)
+{
+    const std::size_t n = model.numInputs();
+    const unsigned C = config.numChunks;
+    REPRO_ASSERT(C >= 1, "adaptive batch needs numChunks >= 1");
+    REPRO_ASSERT(options.windowChunks >= 1,
+                 "adaptive batch needs windowChunks >= 1");
+
+    const serving::SessionTuning start = initialTuning(n, config);
+    options.controller.initial = start;
+    includeInBounds(options.controller, start);
+    FeedbackController controller(std::move(options.controller));
+
+    serving::SessionPipeline pipeline(
+        model, {config.altWindowK, config.numOriginalStates}, seed, pool);
+
+    AdaptiveBatchResult result;
+    result.outputs.reserve(n);
+
+    // Until the first applied decision the run follows the batch
+    // boundary schedule; any applied decision diverges it permanently
+    // to fixed-size chunks of the current chunk knob (replay mirrors
+    // this flag transition exactly).
+    bool diverged = false;
+    unsigned c = 0;
+    std::size_t pos = 0;
+
+    // Window accumulators.
+    std::size_t windowChunks = 0;
+    std::size_t windowInputs = 0;
+    unsigned windowCommitsBase = 0;
+    unsigned windowAbortsBase = 0;
+    double windowChunkSeconds = 0.0;
+    Clock::time_point windowStart = Clock::now();
+    const Clock::time_point runStart = windowStart;
+
+    while (pos < n) {
+        std::size_t size =
+            diverged ? std::min(controller.current().chunkInputs, n - pos)
+                     : batchChunkSize(n, C, c);
+        if (size == 0) { // Degenerate n < C schedules emit empty slots.
+            ++c;
+            continue;
+        }
+
+        const Clock::time_point chunkStart = Clock::now();
+        auto chunk = pipeline.processChunk(size);
+        windowChunkSeconds += secondsSince(chunkStart);
+        result.outputs.insert(result.outputs.end(),
+                              chunk.outputs.begin(), chunk.outputs.end());
+        result.chunkSizes.push_back(size);
+        ++c;
+        pos += size;
+        ++windowChunks;
+        windowInputs += size;
+
+        if (windowChunks < options.windowChunks || pos >= n)
+            continue;
+
+        // Window boundary: feed the controller the window's deltas.
+        WindowObservation obs;
+        obs.seconds = secondsSince(windowStart);
+        obs.chunksProcessed = windowChunks;
+        obs.inputsProcessed = windowInputs;
+        obs.commits = pipeline.commits() - windowCommitsBase;
+        obs.aborts = pipeline.aborts() - windowAbortsBase;
+        // Batch has no replica-match metrics stream of its own; the
+        // abort split is the strongest signal available here.
+        obs.matchNone = obs.aborts;
+        obs.matchFirst = obs.commits;
+        obs.inputsSubmitted = windowInputs;
+        obs.chunkSeconds = windowChunkSeconds;
+        obs.sessions = 1;
+
+        auto decision = controller.observe(obs);
+        if (decision) {
+            decision->atChunk = c; // First chunk the new knobs govern.
+            if (decision->applied) {
+                diverged = true;
+                pipeline.reconfigure({decision->to.altWindowK,
+                                      decision->to.numOriginalStates});
+            }
+            result.decisions.push_back(*decision);
+        }
+
+        windowChunks = 0;
+        windowInputs = 0;
+        windowCommitsBase = pipeline.commits();
+        windowAbortsBase = pipeline.aborts();
+        windowChunkSeconds = 0.0;
+        windowStart = Clock::now();
+    }
+
+    result.commits = pipeline.commits();
+    result.aborts = pipeline.aborts();
+    result.wallSeconds = secondsSince(runStart);
+    return result;
+}
+
+AdaptiveBatchResult
+replayAdaptiveBatch(const core::IStateModel &model,
+                    const core::StatsConfig &config, std::uint64_t seed,
+                    const std::vector<Decision> &trace,
+                    util::ThreadPool *pool)
+{
+    const std::size_t n = model.numInputs();
+    const unsigned C = config.numChunks;
+    REPRO_ASSERT(C >= 1, "adaptive replay needs numChunks >= 1");
+
+    serving::SessionPipeline pipeline(
+        model, {config.altWindowK, config.numOriginalStates}, seed, pool);
+
+    AdaptiveBatchResult result;
+    result.outputs.reserve(n);
+
+    serving::SessionTuning current = initialTuning(n, config);
+    bool diverged = false;
+    std::size_t next = 0; // Next trace entry to consider.
+    unsigned c = 0;
+    std::size_t pos = 0;
+    const Clock::time_point runStart = Clock::now();
+
+    while (pos < n) {
+        // Land every applied decision recorded for this boundary (the
+        // recorder stamps atChunk with the first governed chunk).
+        while (next < trace.size() && trace[next].atChunk <= c) {
+            if (trace[next].applied) {
+                current = trace[next].to;
+                diverged = true;
+                pipeline.reconfigure(
+                    {current.altWindowK, current.numOriginalStates});
+            }
+            ++next;
+        }
+
+        std::size_t size = diverged
+                               ? std::min(current.chunkInputs, n - pos)
+                               : batchChunkSize(n, C, c);
+        if (size == 0) {
+            ++c;
+            continue;
+        }
+        auto chunk = pipeline.processChunk(size);
+        result.outputs.insert(result.outputs.end(),
+                              chunk.outputs.begin(), chunk.outputs.end());
+        result.chunkSizes.push_back(size);
+        ++c;
+        pos += size;
+    }
+
+    result.commits = pipeline.commits();
+    result.aborts = pipeline.aborts();
+    result.wallSeconds = secondsSince(runStart);
+    result.decisions = trace;
+    return result;
+}
+
+} // namespace repro::adapt

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Adaptive batch execution: NativeRuntime::run with the feedback
+ * controller in the loop — and bit-exact replay of the result.
+ *
+ * runAdaptiveBatch drives a serving::SessionPipeline over the whole
+ * input vector, consulting a FeedbackController every windowChunks
+ * chunks.  Until the first *applied* decision it follows the batch
+ * boundary schedule exactly (chunk c spans [n*c/C, n*(c+1)/C), the
+ * NativeRuntime formula), so a Frozen-mode run — where no decision is
+ * ever applied — produces outputs, commits, and aborts bit-identical
+ * to NativeRuntime::run for the same (model, config, seed).  That is
+ * the determinism acceptance gate: adding the controller to a run
+ * changes nothing unless it *decides* something.
+ *
+ * Once a decision applies, the schedule diverges deliberately: from
+ * that chunk on, each chunk takes min(chunkInputs, remaining) inputs
+ * and the pipeline's K/R follow the decision trace.  The run is then a
+ * pure function of (model, seed, decision trace): replayAdaptiveBatch
+ * re-applies a recorded trace at its recorded chunk indices — no
+ * controller, no metrics, no timing — and reproduces the adaptive
+ * outputs bit for bit.  Recorded decisions are the run's provenance.
+ */
+
+#ifndef REPRO_ADAPT_ADAPTIVE_RUNNER_H
+#define REPRO_ADAPT_ADAPTIVE_RUNNER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "adapt/controller.h"
+#include "core/config.h"
+#include "core/state_model.h"
+
+namespace repro::util {
+class ThreadPool;
+} // namespace repro::util
+
+namespace repro::adapt {
+
+/** Options of one adaptive batch run. */
+struct AdaptiveBatchOptions
+{
+    /** Controller parameters.  initial is overridden from the
+     *  StatsConfig (chunk = ceil(n / numChunks), K, R) so the run
+     *  starts exactly where the fixed-config run stands. */
+    ControllerConfig controller;
+
+    /** Chunks per observation window (>= 1). */
+    std::size_t windowChunks = 2;
+};
+
+/** Outcome of an adaptive (or replayed) batch run. */
+struct AdaptiveBatchResult
+{
+    std::vector<double> outputs; //!< Committed output per input.
+    unsigned commits = 0;
+    unsigned aborts = 0;
+    double wallSeconds = 0.0;
+    /** Every controller decision, applied or frozen-recorded, with
+     *  atChunk set to the first chunk the decision governs. */
+    std::vector<Decision> decisions;
+    /** Realized closure trace (chunk sizes, in order). */
+    std::vector<std::size_t> chunkSizes;
+};
+
+/**
+ * Runs @p model to completion with the controller retuning knobs at
+ * chunk-window boundaries (see the file comment for the schedule
+ * contract).  @p config provides the starting point: numChunks fixes
+ * the pre-divergence boundary schedule, altWindowK/numOriginalStates
+ * seed the pipeline.
+ */
+AdaptiveBatchResult runAdaptiveBatch(const core::IStateModel &model,
+                                     const core::StatsConfig &config,
+                                     std::uint64_t seed,
+                                     AdaptiveBatchOptions options,
+                                     util::ThreadPool *pool = nullptr);
+
+/**
+ * Re-executes an adaptive run from its recorded decision trace:
+ * applied decisions land at their recorded atChunk boundaries,
+ * unapplied (frozen) entries are ignored.  Outputs are bit-identical
+ * to the run that recorded @p trace.
+ */
+AdaptiveBatchResult replayAdaptiveBatch(const core::IStateModel &model,
+                                        const core::StatsConfig &config,
+                                        std::uint64_t seed,
+                                        const std::vector<Decision> &trace,
+                                        util::ThreadPool *pool = nullptr);
+
+} // namespace repro::adapt
+
+#endif // REPRO_ADAPT_ADAPTIVE_RUNNER_H

@@ -1,0 +1,113 @@
+#include "adapt/serving_adaptor.h"
+
+#include <algorithm>
+
+namespace repro::adapt {
+
+namespace {
+
+/** Folds the serving.* slice of one windowed registry delta into the
+ *  controller's observation shape. */
+WindowObservation
+foldServingWindow(const metrics::MetricsSnapshot &delta, double seconds,
+                  unsigned sessions)
+{
+    WindowObservation obs;
+    obs.seconds = seconds;
+    obs.commits = delta.counterValue("serving.chunks_committed");
+    obs.aborts = delta.counterValue("serving.chunks_aborted");
+    obs.chunksProcessed = obs.commits + obs.aborts;
+    obs.inputsProcessed = delta.counterValue("serving.outputs_delivered");
+    obs.matchFirst = delta.counterValue("serving.commit_match_first");
+    obs.matchReplica = delta.counterValue("serving.commit_match_replica");
+    obs.matchNone = delta.counterValue("serving.commit_match_none");
+    obs.inputsSubmitted = delta.counterValue("serving.inputs_submitted");
+    obs.inputsRejected = delta.counterValue("serving.inputs_rejected");
+    obs.chunkSeconds =
+        delta.histogramValue("serving.chunk_process_seconds").sumSeconds;
+    obs.queueDepthP99 =
+        delta.histogramValue("serving.queue_depth").quantileSeconds(0.99);
+    obs.sessions = sessions > 0 ? sessions : 1;
+    return obs;
+}
+
+} // namespace
+
+ServingAdaptor::ServingAdaptor(serving::ServingRuntime &runtime,
+                               Options options)
+    : runtime_(runtime), opts_(std::move(options)),
+      controller_(opts_.controller),
+      prev_(metrics::MetricsRegistry::global().snapshot()),
+      lastTick_(now())
+{
+}
+
+ServingAdaptor::~ServingAdaptor() { stop(); }
+
+std::chrono::steady_clock::time_point
+ServingAdaptor::now() const
+{
+    return opts_.clock ? opts_.clock()
+                       : std::chrono::steady_clock::now();
+}
+
+std::optional<Decision>
+ServingAdaptor::tick()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto t = now();
+    const double seconds =
+        std::chrono::duration<double>(t - lastTick_).count();
+    lastTick_ = t;
+
+    auto cur = metrics::MetricsRegistry::global().snapshot();
+    const auto delta = metrics::snapshotDiff(prev_, cur);
+    prev_ = std::move(cur);
+
+    const WindowObservation obs = foldServingWindow(
+        delta, std::max(seconds, 0.0),
+        static_cast<unsigned>(runtime_.activeSessions()));
+    auto decision = controller_.observe(obs);
+    if (decision && decision->applied)
+        runtime_.retuneAll(decision->to);
+    return decision;
+}
+
+void
+ServingAdaptor::start()
+{
+    std::lock_guard<std::mutex> lock(stopMu_);
+    if (thread_.joinable())
+        return;
+    stopping_ = false;
+    thread_ = std::thread([this] { loop(); });
+}
+
+void
+ServingAdaptor::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(stopMu_);
+        if (!thread_.joinable())
+            return;
+        stopping_ = true;
+    }
+    stopCv_.notify_all();
+    thread_.join();
+}
+
+void
+ServingAdaptor::loop()
+{
+    std::unique_lock<std::mutex> lock(stopMu_);
+    while (!stopping_) {
+        if (stopCv_.wait_for(lock, opts_.window,
+                             [this] { return stopping_; }))
+            break;
+        lock.unlock();
+        tick();
+        lock.lock();
+    }
+}
+
+} // namespace repro::adapt

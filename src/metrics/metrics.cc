@@ -98,6 +98,30 @@ LatencyHistogram::Snapshot::quantileSeconds(double p) const
 }
 
 LatencyHistogram::Snapshot
+LatencyHistogram::Snapshot::deltaSince(const Snapshot &prev) const
+{
+    Snapshot delta;
+    delta.buckets.resize(kBuckets);
+    std::uint64_t bucket_total = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+        const auto i = static_cast<std::size_t>(b);
+        const std::uint64_t cur_b = i < buckets.size() ? buckets[i] : 0;
+        const std::uint64_t prev_b =
+            i < prev.buckets.size() ? prev.buckets[i] : 0;
+        delta.buckets[i] = cur_b > prev_b ? cur_b - prev_b : 0;
+        bucket_total += delta.buckets[i];
+    }
+    // Rebuild the count from the delta buckets: the scalar counters of
+    // the two snapshots were swept at different instants than their
+    // bucket arrays, and a difference of racy counts can disagree with
+    // the bucket mass quantileSeconds interpolates over.
+    delta.count = bucket_total;
+    delta.sumSeconds =
+        sumSeconds > prev.sumSeconds ? sumSeconds - prev.sumSeconds : 0.0;
+    return delta;
+}
+
+LatencyHistogram::Snapshot
 LatencyHistogram::snapshot() const
 {
     Snapshot snap;
@@ -126,6 +150,73 @@ LatencyHistogram::reset()
         bucket.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
     sumNanos_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+/** Value of @p name in a sorted name/value vector, or @p fallback. */
+template <typename Pair, typename Value>
+Value
+lookup(const std::vector<Pair> &entries, const std::string &name,
+       Value fallback)
+{
+    const auto it = std::lower_bound(
+        entries.begin(), entries.end(), name,
+        [](const Pair &entry, const std::string &key) {
+            return entry.first < key;
+        });
+    if (it == entries.end() || it->first != name)
+        return fallback;
+    return it->second;
+}
+
+} // namespace
+
+std::uint64_t
+MetricsSnapshot::counterValue(const std::string &name) const
+{
+    return lookup(counters, name, std::uint64_t{0});
+}
+
+std::int64_t
+MetricsSnapshot::gaugeValue(const std::string &name) const
+{
+    return lookup(gauges, name, std::int64_t{0});
+}
+
+LatencyHistogram::Snapshot
+MetricsSnapshot::histogramValue(const std::string &name) const
+{
+    return lookup(histograms, name, LatencyHistogram::Snapshot{});
+}
+
+MetricsSnapshot
+snapshotDiff(const MetricsSnapshot &prev, const MetricsSnapshot &cur)
+{
+    MetricsSnapshot delta;
+    delta.counters.reserve(cur.counters.size());
+    for (const auto &[name, value] : cur.counters) {
+        const std::uint64_t before =
+            lookup(prev.counters, name, std::uint64_t{0});
+        delta.counters.emplace_back(
+            name, value >= before ? value - before : value);
+    }
+    // Gauges carry their latest value: instantaneous quantities do not
+    // difference meaningfully (see snapshotDiff's contract).
+    delta.gauges = cur.gauges;
+    delta.histograms.reserve(cur.histograms.size());
+    for (const auto &[name, snap] : cur.histograms) {
+        delta.histograms.emplace_back(
+            name, snap.deltaSince(lookup(prev.histograms, name,
+                                         LatencyHistogram::Snapshot{})));
+    }
+    return delta;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshotDelta(const MetricsSnapshot &prev) const
+{
+    return snapshotDiff(prev, snapshot());
 }
 
 MetricsRegistry &

@@ -195,6 +195,20 @@ class LatencyHistogram
         /** Interpolated quantile in seconds (0 when empty), computed
          *  through util::Histogram::quantile in log2 space. */
         double quantileSeconds(double p) const;
+
+        /**
+         * The *interval* view: observations recorded after @p prev was
+         * taken and before this snapshot was.  Bucket counts subtract
+         * per bucket (clamped at zero, so a reset between snapshots
+         * degrades to "everything since the reset" instead of
+         * underflow), count is rebuilt from the delta buckets, and
+         * sumSeconds subtracts with the same clamp.  quantileSeconds
+         * on the result answers "p99 of this window", which is the
+         * windowed-rate primitive the feedback controller consumes.
+         * An empty window (no observations between the snapshots) has
+         * count == 0 and quantileSeconds == 0.
+         */
+        Snapshot deltaSince(const Snapshot &prev) const;
     };
 
     /** Consistent-enough copy of the bucket counts (relaxed reads;
@@ -218,7 +232,39 @@ struct MetricsSnapshot
     std::vector<std::pair<std::string, std::int64_t>> gauges;
     std::vector<std::pair<std::string, LatencyHistogram::Snapshot>>
         histograms;
+
+    /** Value of the counter named @p name, or 0 when absent. */
+    std::uint64_t counterValue(const std::string &name) const;
+
+    /** Value of the gauge named @p name, or 0 when absent. */
+    std::int64_t gaugeValue(const std::string &name) const;
+
+    /** Snapshot of the histogram named @p name (empty when absent). */
+    LatencyHistogram::Snapshot
+    histogramValue(const std::string &name) const;
 };
+
+/**
+ * The windowed delta between two registry snapshots, the first-class
+ * input of the adaptive feedback controller:
+ *
+ *  - counters report the *increase* cur - prev (an instrument that
+ *    appears only in @p cur reports its full value; a counter that
+ *    shrank — a resetAll between the snapshots — reports its current
+ *    value rather than wrapping);
+ *  - gauges report the *last* value (the one from @p cur), never a
+ *    difference: a gauge is an instantaneous quantity, and "queue
+ *    depth now" is the signal, "queue depth changed by -3" is not;
+ *  - histograms report the interval view
+ *    (LatencyHistogram::Snapshot::deltaSince), so quantiles describe
+ *    only the window's observations.
+ *
+ * Instruments present in @p prev but missing from @p cur are dropped
+ * (cannot happen with a live registry — instruments are immortal —
+ * but deserialized snapshots may be partial).
+ */
+MetricsSnapshot snapshotDiff(const MetricsSnapshot &prev,
+                             const MetricsSnapshot &cur);
 
 /**
  * Process-wide home of every instrument.  Instruments are created on
@@ -245,6 +291,12 @@ class MetricsRegistry
 
     /** One pass over every instrument, sorted by name. */
     MetricsSnapshot snapshot() const;
+
+    /** The windowed delta between @p prev and the registry's state
+     *  now: snapshotDiff(prev, snapshot()).  Callers keeping a rolling
+     *  window take snapshot() for the next prev themselves (one sweep
+     *  serves both uses). */
+    MetricsSnapshot snapshotDelta(const MetricsSnapshot &prev) const;
 
     /** Zeroes every instrument's value; names stay registered.  For
      *  tests and bench phase isolation. */

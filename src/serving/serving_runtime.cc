@@ -32,6 +32,7 @@ struct ServingMetrics
     metrics::Counter &chunksCommitted;
     metrics::Counter &chunksAborted;
     metrics::Counter &outputsDelivered;
+    metrics::Counter &retunesApplied;
     metrics::LatencyHistogram &e2eLatency;
     /** Unit: *inputs* pending for the session at chunk closure, not
      *  seconds — the power-of-two bucketing is what we want. */
@@ -56,6 +57,7 @@ servingMetrics()
         reg.counter("serving.chunks_committed"),
         reg.counter("serving.chunks_aborted"),
         reg.counter("serving.outputs_delivered"),
+        reg.counter("serving.retunes_applied"),
         reg.histogram("serving.e2e_latency_seconds"),
         reg.histogram("serving.queue_depth"),
         reg.histogram("serving.chunk_process_seconds"),
@@ -83,6 +85,9 @@ struct Session
           pipeline(m, cfg.stats, cfg.seed, pool),
           ring(cfg.queueCapacity)
     {
+        active.chunkInputs = cfg.chunkInputs;
+        active.altWindowK = cfg.stats.altWindowK;
+        active.numOriginalStates = cfg.stats.numOriginalStates;
     }
 
     TimePoint
@@ -109,13 +114,22 @@ struct Session
     {
         std::vector<TimePoint> stamps;
         bool deadline = false;
+        /** STATS parameters this chunk was closed under; the strand
+         *  reconfigures the pipeline to these before processing, so a
+         *  knob swap can never land mid-chunk even with several closed
+         *  chunks queued across a retune. */
+        SessionPipeline::Config pipelineCfg;
     };
 
     std::mutex consumerMu;
     std::vector<TimePoint> open;    //!< Enqueue stamps, oldest first.
     std::deque<ClosedChunk> closed; //!< Closed, awaiting the strand.
+    SessionTuning active;           //!< Knobs of the open chunk.
+    SessionTuning pending;          //!< Requested knobs, if any.
+    bool hasPending = false;        //!< Guarded by consumerMu.
     std::atomic<std::uint64_t> chunksClosed{0};
     std::atomic<std::uint64_t> deadlineClosures{0};
+    std::atomic<std::uint64_t> retunesApplied{0};
 
     // ---- Strand (at most one pool task in flight) ------------------
     std::atomic<bool> strandActive{false};
@@ -138,6 +152,19 @@ namespace {
 
 using detail::Session;
 
+/** Lands the pending knob swap if the stream is at a chunk boundary
+ *  (no open inputs).  Caller holds consumerMu. */
+void
+applyPendingLocked(Session &s)
+{
+    if (!s.hasPending || !s.open.empty())
+        return;
+    s.active = s.pending;
+    s.hasPending = false;
+    s.retunesApplied.fetch_add(1, std::memory_order_relaxed);
+    servingMetrics().retunesApplied.inc();
+}
+
 /** Appends every queued input to the open chunk, closing on size as
  *  it fills.  Caller holds consumerMu. */
 void
@@ -147,7 +174,7 @@ drainRingLocked(Session &s,
     TimePoint stamp;
     while (s.ring.tryPop(stamp)) {
         s.open.push_back(stamp);
-        if (s.open.size() >= s.cfg.chunkInputs)
+        if (s.open.size() >= s.active.chunkInputs)
             close(false, false);
     }
 }
@@ -163,6 +190,8 @@ closeOpen(Session &s, bool deadline, bool drainClose)
     Session::ClosedChunk chunk;
     chunk.stamps = std::move(s.open);
     chunk.deadline = deadline;
+    chunk.pipelineCfg.altWindowK = s.active.altWindowK;
+    chunk.pipelineCfg.numOriginalStates = s.active.numOriginalStates;
     s.open.clear();
     s.closed.push_back(std::move(chunk));
     s.chunksClosed.fetch_add(1, std::memory_order_relaxed);
@@ -174,6 +203,9 @@ closeOpen(Session &s, bool deadline, bool drainClose)
     } else {
         m.chunksClosedSize.inc();
     }
+    // The closure is a chunk boundary — the spot a requested knob swap
+    // is allowed to land.
+    applyPendingLocked(s);
 }
 
 /** The strand body: processes closed chunks in order until the queue
@@ -212,6 +244,15 @@ strandLoop(const std::shared_ptr<Session> &s)
         }
         if (!have)
             break;
+
+        // Between chunks by construction (the strand is the only
+        // processChunk caller and runs them one at a time): swap in
+        // the knobs this chunk was closed under.
+        const SessionPipeline::Config &cur = s->pipeline.config();
+        if (chunk.pipelineCfg.altWindowK != cur.altWindowK ||
+            chunk.pipelineCfg.numOriginalStates !=
+                cur.numOriginalStates)
+            s->pipeline.reconfigure(chunk.pipelineCfg);
 
         SessionPipeline::ChunkResult result;
         {
@@ -429,6 +470,42 @@ ServingRuntime::evict(SessionId id)
     m.sessionsActive.sub(1);
 }
 
+bool
+ServingRuntime::retune(SessionId id, const SessionTuning &tuning)
+{
+    REPRO_ASSERT(tuning.chunkInputs >= 1,
+                 "retune needs chunkInputs >= 1");
+    REPRO_ASSERT(tuning.altWindowK >= 1, "retune needs altWindowK >= 1");
+    REPRO_ASSERT(tuning.numOriginalStates >= 1,
+                 "retune needs numOriginalStates >= 1");
+    const std::shared_ptr<detail::Session> s = find(id);
+    if (!s)
+        return false;
+    const std::lock_guard<std::mutex> lock(s->consumerMu);
+    s->pending = tuning;
+    s->hasPending = true;
+    applyPendingLocked(*s);
+    return true;
+}
+
+void
+ServingRuntime::retuneAll(const SessionTuning &tuning)
+{
+    for (const SessionId id : sessionIds())
+        retune(id, tuning);
+}
+
+std::vector<SessionId>
+ServingRuntime::sessionIds() const
+{
+    std::vector<SessionId> ids;
+    const std::lock_guard<std::mutex> lock(sessionsMu_);
+    ids.reserve(sessions_.size());
+    for (const auto &entry : sessions_)
+        ids.push_back(entry.first);
+    return ids;
+}
+
 void
 ServingRuntime::pollSession(detail::Session &s, TimePoint nowStamp)
 {
@@ -496,6 +573,12 @@ ServingRuntime::sessionStats(SessionId id) const
     stats.aborts = s->aborts.load(std::memory_order_relaxed);
     stats.outputsDelivered =
         s->outputsDelivered.load(std::memory_order_relaxed);
+    stats.retunesApplied =
+        s->retunesApplied.load(std::memory_order_relaxed);
+    {
+        const std::lock_guard<std::mutex> lock(s->consumerMu);
+        stats.tuning = s->active;
+    }
     stats.draining = s->draining.load(std::memory_order_relaxed);
     {
         const std::lock_guard<std::mutex> lock(s->drainMu);

@@ -109,6 +109,33 @@ struct ResultChunk
     const std::vector<double> &outputs; //!< Valid during the call only.
 };
 
+/**
+ * The live-tunable knobs of one session: the three STATS parameters
+ * the adaptive feedback controller (src/adapt/) retunes while the
+ * stream runs.  Chunk length plays the role batch numChunks plays —
+ * for a fixed input count they determine each other — and altWindowK /
+ * numOriginalStates are the paper's k and R.  A retune *never* takes
+ * effect mid-chunk: pending knobs land at the next chunk boundary
+ * (see ServingRuntime::retune), which is what keeps adaptive runs a
+ * pure function of (model, seed, closure trace, knob trace).
+ */
+struct SessionTuning
+{
+    std::size_t chunkInputs = 64;   //!< Size-closure threshold.
+    unsigned altWindowK = 2;        //!< Speculation lookahead k.
+    unsigned numOriginalStates = 1; //!< Original states per boundary.
+
+    bool
+    operator==(const SessionTuning &o) const
+    {
+        return chunkInputs == o.chunkInputs &&
+               altWindowK == o.altWindowK &&
+               numOriginalStates == o.numOriginalStates;
+    }
+
+    bool operator!=(const SessionTuning &o) const { return !(*this == o); }
+};
+
 /** Per-session configuration. */
 struct SessionConfig
 {
@@ -166,6 +193,8 @@ struct SessionStats
     std::uint64_t commits = 0;    //!< Boundary checks that accepted.
     std::uint64_t aborts = 0;     //!< Boundary checks that re-executed.
     std::uint64_t outputsDelivered = 0;
+    std::uint64_t retunesApplied = 0; //!< Knob swaps landed at boundaries.
+    SessionTuning tuning;             //!< Knobs of the next chunk.
     bool draining = false;
     bool drained = false;
 };
@@ -230,6 +259,28 @@ class ServingRuntime
      * alongside it — consumer-side work is serialized per session).
      */
     void poll();
+
+    /**
+     * Requests a knob swap for the session.  The swap is *deferred to
+     * the next chunk boundary*: when the session's open chunk is empty
+     * it applies immediately (the stream is at a boundary), otherwise
+     * the open chunk still closes under the old knobs and the pending
+     * tuning lands when it does.  A second retune before the boundary
+     * replaces the pending values (last writer wins).  The chunk-size
+     * knob governs size closure of subsequent chunks; altWindowK and
+     * numOriginalStates ride along with each closed chunk so the
+     * strand reconfigures the pipeline for exactly the chunks closed
+     * under them — the protocol never sees a mid-chunk change.
+     * @return false for unknown sessions.
+     */
+    bool retune(SessionId id, const SessionTuning &tuning);
+
+    /** retune() for every active session (the controller's broadcast:
+     *  sessions share one workload profile and one knob setting). */
+    void retuneAll(const SessionTuning &tuning);
+
+    /** Ids of every admitted, not-yet-evicted session. */
+    std::vector<SessionId> sessionIds() const;
 
     /** Sessions admitted and not yet evicted. */
     std::size_t activeSessions() const;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "metrics/metrics.h"
 #include "util/log.h"
 #include "util/thread_pool.h"
 
@@ -14,6 +15,30 @@ using core::IStateModel;
 using core::State;
 using core::StateHandle;
 using trace::TaskKind;
+
+/** The commit-check match split, the replica cost/benefit signal the
+ *  adaptive controller reads: how often the committed final state
+ *  matched directly, how often only a replica saved the boundary, and
+ *  how often nothing matched (abort).  Resolved once — registry
+ *  lookups lock. */
+struct MatchMetrics
+{
+    metrics::Counter &first;   //!< Committed final state matched.
+    metrics::Counter &replica; //!< Some replica matched instead.
+    metrics::Counter &none;    //!< No original state matched (abort).
+};
+
+MatchMetrics &
+matchMetrics()
+{
+    auto &reg = metrics::MetricsRegistry::global();
+    static MatchMetrics m{
+        reg.counter("serving.commit_match_first"),
+        reg.counter("serving.commit_match_replica"),
+        reg.counter("serving.commit_match_none"),
+    };
+    return m;
+}
 
 /** Runs updates [from, to) on @p state with @p rng — the same span
  *  primitive the batch runtime uses, so the state and RNG evolution
@@ -128,9 +153,18 @@ SessionPipeline::processChunk(std::size_t count)
 
     // Commit check (paper Fig. 6): the speculative entry state against
     // the committed final state, then each replica in order.
-    bool matched = model_.matches(*spec_entry, *committedFinal_);
+    const bool matched_first =
+        model_.matches(*spec_entry, *committedFinal_);
+    bool matched = matched_first;
     for (std::size_t rep = 0; !matched && rep < replicas.size(); ++rep)
         matched = model_.matches(*spec_entry, *replicas[rep]);
+    auto &mm = matchMetrics();
+    if (matched_first)
+        mm.first.inc();
+    else if (matched)
+        mm.replica.inc();
+    else
+        mm.none.inc();
 
     if (matched) {
         ++commits_;
@@ -156,6 +190,14 @@ SessionPipeline::processChunk(std::size_t count)
     nextInput_ = end;
     ++chunkIndex_;
     return result;
+}
+
+void
+SessionPipeline::reconfigure(Config config)
+{
+    REPRO_ASSERT(config.numOriginalStates >= 1,
+                 "session needs numOriginalStates >= 1");
+    cfg_ = config;
 }
 
 void

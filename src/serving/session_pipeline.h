@@ -111,6 +111,20 @@ class SessionPipeline
      */
     ChunkResult processChunk(std::size_t count);
 
+    /**
+     * Swaps the STATS parameters at the current chunk boundary: the
+     * next processChunk call runs with @p config.  Must only be called
+     * between processChunk calls (the serving strand guarantees this),
+     * which preserves the determinism contract — every RNG stream is
+     * derived from the chunk *index*, never from K or R, so a run is a
+     * pure function of (model, seed, closure trace, knob trace) and a
+     * recorded knob trace replays bit-identically.
+     */
+    void reconfigure(Config config);
+
+    /** The STATS parameters the next chunk will run with. */
+    const Config &config() const { return cfg_; }
+
     /** Stream index the next chunk starts at. */
     std::size_t nextInput() const { return nextInput_; }
 
@@ -137,7 +151,7 @@ class SessionPipeline
                      std::size_t end);
 
     const core::IStateModel &model_;
-    const Config cfg_;
+    Config cfg_; //!< Mutable only through reconfigure(), at boundaries.
     const util::Rng base_;
     util::ThreadPool *pool_;
 

@@ -66,6 +66,23 @@ Histogram::merge(const Histogram &other)
     clampedHigh_ += other.clampedHigh_;
 }
 
+void
+Histogram::reset()
+{
+    std::fill(counts.begin(), counts.end(), 0);
+    total_ = 0;
+    clampedLow_ = 0;
+    clampedHigh_ = 0;
+}
+
+Histogram
+Histogram::windowedSnapshot()
+{
+    Histogram window = *this;
+    reset();
+    return window;
+}
+
 double
 Histogram::quantile(double p) const
 {

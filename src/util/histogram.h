@@ -84,6 +84,25 @@ class Histogram
     double quantile(double p) const;
 
     /**
+     * Discards every sample: counts, total, and clamp tallies return
+     * to the freshly constructed state; the range and bin count stay.
+     * The windowing primitive the feedback controller builds on —
+     * accumulate, snapshot, reset, repeat.
+     */
+    void reset();
+
+    /**
+     * Returns the histogram accumulated since construction (or since
+     * the previous windowedSnapshot call) and resets this instance, so
+     * consecutive calls partition the sample stream into disjoint
+     * windows.  An empty window returns an empty histogram of the same
+     * shape — total() == 0, quantile(p) == lo for every p — never an
+     * error: the adaptive controller polls on a timer and quiet
+     * windows are routine.
+     */
+    Histogram windowedSnapshot();
+
+    /**
      * Renders one bar row per bin:
      *   [0.10,0.20) ######### 42
      * @param max_bar Width of the largest bar.

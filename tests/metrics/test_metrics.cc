@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <string>
 #include <thread>
 #include <vector>
@@ -231,6 +232,110 @@ TEST_F(MetricsTest, SnapshotRacesRegistrationSafely)
         (void)reg.snapshot();
     stop.store(true);
     writer.join();
+}
+
+/** snapshotDelta: counters report the window's increase. */
+TEST_F(MetricsTest, SnapshotDeltaCounterIncrease)
+{
+    auto &reg = MetricsRegistry::global();
+    auto &c = reg.counter("test.delta.c");
+    c.inc(10);
+    const MetricsSnapshot prev = reg.snapshot();
+    c.inc(3);
+    const MetricsSnapshot delta = reg.snapshotDelta(prev);
+    EXPECT_EQ(delta.counterValue("test.delta.c"), 3u);
+    // A counter untouched in the window reports zero, not its total.
+    reg.counter("test.delta.idle").inc(5);
+    const MetricsSnapshot prev2 = reg.snapshot();
+    const MetricsSnapshot delta2 = reg.snapshotDelta(prev2);
+    EXPECT_EQ(delta2.counterValue("test.delta.idle"), 0u);
+}
+
+/** snapshotDelta: gauges report the last value, never a difference —
+ *  "queue depth now" is the signal, "depth changed by -3" is not. */
+TEST_F(MetricsTest, SnapshotDeltaGaugeIsLastValue)
+{
+    auto &reg = MetricsRegistry::global();
+    auto &g = reg.gauge("test.delta.g");
+    g.add(7);
+    const MetricsSnapshot prev = reg.snapshot();
+    g.sub(3);
+    const MetricsSnapshot delta = reg.snapshotDelta(prev);
+    EXPECT_EQ(delta.gaugeValue("test.delta.g"), 4);
+}
+
+/** snapshotDelta: histograms report the interval view — quantiles
+ *  describe only the window's observations. */
+TEST_F(MetricsTest, SnapshotDeltaHistogramIntervalView)
+{
+    auto &reg = MetricsRegistry::global();
+    auto &h = reg.histogram("test.delta.h");
+    for (int i = 0; i < 100; ++i)
+        h.observe(1e-3); // Old regime: 1 ms.
+    const MetricsSnapshot prev = reg.snapshot();
+    for (int i = 0; i < 10; ++i)
+        h.observe(1.0); // Window regime: 1 s.
+    const MetricsSnapshot delta = reg.snapshotDelta(prev);
+    const auto window = delta.histogramValue("test.delta.h");
+    EXPECT_EQ(window.count, 10u);
+    EXPECT_NEAR(window.sumSeconds, 10.0, 0.5);
+    // The cumulative p50 would sit at 1 ms; the window's sits at 1 s.
+    EXPECT_GT(window.quantileSeconds(0.5), 0.5);
+}
+
+/** snapshotDelta: an empty window (no activity) is all zeroes. */
+TEST_F(MetricsTest, SnapshotDeltaEmptyWindow)
+{
+    auto &reg = MetricsRegistry::global();
+    reg.counter("test.delta.e").inc(4);
+    reg.histogram("test.delta.eh").observe(1e-3);
+    const MetricsSnapshot prev = reg.snapshot();
+    const MetricsSnapshot delta = reg.snapshotDelta(prev);
+    EXPECT_EQ(delta.counterValue("test.delta.e"), 0u);
+    const auto window = delta.histogramValue("test.delta.eh");
+    EXPECT_EQ(window.count, 0u);
+    EXPECT_DOUBLE_EQ(window.quantileSeconds(0.99), 0.0);
+}
+
+/** A reset between the snapshots degrades to "everything since the
+ *  reset" — the delta reports the current value, it never wraps. */
+TEST_F(MetricsTest, SnapshotDeltaSurvivesResetBetweenSnapshots)
+{
+    auto &reg = MetricsRegistry::global();
+    auto &c = reg.counter("test.delta.r");
+    c.inc(100);
+    const MetricsSnapshot prev = reg.snapshot();
+    c.reset();
+    c.inc(6);
+    const MetricsSnapshot delta = reg.snapshotDelta(prev);
+    EXPECT_EQ(delta.counterValue("test.delta.r"), 6u);
+}
+
+/** An instrument born inside the window reports its full value. */
+TEST_F(MetricsTest, SnapshotDeltaNewInstrument)
+{
+    auto &reg = MetricsRegistry::global();
+    const MetricsSnapshot prev = reg.snapshot();
+    reg.counter("test.delta.born." +
+                std::to_string(reinterpret_cast<std::uintptr_t>(&prev)))
+        .inc(9);
+    const MetricsSnapshot delta = reg.snapshotDelta(prev);
+    bool found = false;
+    for (const auto &[name, value] : delta.counters)
+        if (name.rfind("test.delta.born.", 0) == 0) {
+            found = true;
+            EXPECT_EQ(value, 9u);
+        }
+    EXPECT_TRUE(found);
+}
+
+/** The lookup helpers answer absent names with zeroes. */
+TEST_F(MetricsTest, SnapshotAccessorsOnAbsentNames)
+{
+    const MetricsSnapshot empty;
+    EXPECT_EQ(empty.counterValue("no.such"), 0u);
+    EXPECT_EQ(empty.gaugeValue("no.such"), 0);
+    EXPECT_EQ(empty.histogramValue("no.such").count, 0u);
 }
 
 TEST_F(MetricsTest, JsonExportShape)

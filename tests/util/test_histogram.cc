@@ -214,6 +214,69 @@ TEST(Histogram, MergeIntoEmptyThenQuantile)
     EXPECT_LE(a.quantile(0.99), 1.0);
 }
 
+TEST(Histogram, ResetReturnsToFreshState)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(0.1);
+    h.add(-2.0); // Clamps low.
+    h.add(9.0);  // Clamps high.
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.clampedLow(), 0u);
+    EXPECT_EQ(h.clampedHigh(), 0u);
+    for (std::size_t b = 0; b < h.bins(); ++b)
+        EXPECT_EQ(h.count(b), 0u);
+    // Shape survives: samples land in the same bins as before.
+    h.add(0.3);
+    EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(Histogram, WindowedSnapshotPartitionsTheStream)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(0.1);
+    h.add(0.15);
+    const Histogram w1 = h.windowedSnapshot();
+    EXPECT_EQ(w1.total(), 2u);
+    EXPECT_EQ(w1.count(0), 2u);
+    // Samples after the snapshot belong to the next window only.
+    h.add(0.9);
+    const Histogram w2 = h.windowedSnapshot();
+    EXPECT_EQ(w2.total(), 1u);
+    EXPECT_EQ(w2.count(3), 1u);
+    EXPECT_EQ(w2.count(0), 0u);
+    EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(Histogram, EmptyWindowIsWellDefined)
+{
+    Histogram h(2.0, 4.0, 8);
+    const Histogram w = h.windowedSnapshot(); // No samples at all.
+    EXPECT_EQ(w.total(), 0u);
+    EXPECT_EQ(w.bins(), 8u);
+    // Quantiles of an empty window pin to lo for every p — the
+    // controller polls on a timer and quiet windows are routine.
+    EXPECT_DOUBLE_EQ(w.quantile(0.0), 2.0);
+    EXPECT_DOUBLE_EQ(w.quantile(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(w.quantile(1.0), 2.0);
+    // A second empty window behaves the same (idempotent when quiet).
+    const Histogram w2 = h.windowedSnapshot();
+    EXPECT_EQ(w2.total(), 0u);
+    EXPECT_DOUBLE_EQ(w2.quantile(0.99), 2.0);
+}
+
+TEST(Histogram, WindowedSnapshotCarriesClampTallies)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-1.0);
+    h.add(5.0);
+    const Histogram w = h.windowedSnapshot();
+    EXPECT_EQ(w.clampedLow(), 1u);
+    EXPECT_EQ(w.clampedHigh(), 1u);
+    EXPECT_EQ(h.clampedLow(), 0u);
+    EXPECT_EQ(h.clampedHigh(), 0u);
+}
+
 TEST(HistogramDeathTest, EmptyRangePanics)
 {
     EXPECT_DEATH(Histogram(1.0, 1.0, 4), "non-empty");
