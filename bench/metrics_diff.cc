@@ -14,9 +14,18 @@
  * Usage:
  *   metrics_diff OLD.json NEW.json [--threshold=0.1]
  *                [--fail-on-regression] [--csv]
+ *                [--require=name,name,...]
+ *
+ * --require names metrics (counters, gauges, or histograms) that must
+ * be present in the NEW snapshot — CI uses it to catch the accidental
+ * removal of an instrumented code path (e.g. the serving queue
+ * highwater gauge or the flight-recorder dump counter): a metric that
+ * silently stops being emitted would otherwise just vanish from the
+ * diff.
  *
  * Exit status: 0 normally; 1 when --fail-on-regression was given and
- * at least one counter regressed beyond the threshold.
+ * at least one counter regressed beyond the threshold, or when a
+ * --require'd metric is absent from NEW.
  */
 
 #include <cmath>
@@ -157,9 +166,32 @@ main(int argc, char **argv)
     const bool fail_on_regression =
         cli.getBool("fail-on-regression", false);
     const bool csv = cli.getBool("csv", false);
+    const std::string require = cli.getString("require", "");
 
     FlatSnapshot before = load(positional[0]);
     FlatSnapshot after = load(positional[1]);
+
+    std::vector<std::string> missing;
+    for (std::size_t pos = 0; pos < require.size();) {
+        std::size_t comma = require.find(',', pos);
+        if (comma == std::string::npos)
+            comma = require.size();
+        const std::string name = require.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (name.empty())
+            continue;
+        if (!after.counters.count(name) && !after.gauges.count(name) &&
+            !after.histogramCounts.count(name))
+            missing.push_back(name);
+    }
+    if (!missing.empty()) {
+        std::cerr << "required metric(s) absent from "
+                  << positional[1] << ":";
+        for (const std::string &name : missing)
+            std::cerr << " " << name;
+        std::cerr << "\n";
+        return 1;
+    }
     addDerivedRatios(before);
     addDerivedRatios(after);
 

@@ -36,12 +36,16 @@
  *   --trace=<path>     dump the last mode's measured run as a Chrome trace
  *   --metrics=<on|off> always-on metrics collection  (default on)
  *   --metrics-out=<p>  also write the metrics snapshot to <p>
+ *   --trace-out=<p>    dump the recorded obs spans as a Chrome trace
+ *   --flight-dir=<d>   write a manual flight-recorder dump into <d>
  *
  * Besides the overhead ladder, the harness prices the always-on
  * metrics themselves: the first protocol's STATS run is timed with
  * collection on and off (interleaved, best of repeats) and the ratio
  * is reported as "metrics_overhead_fraction" — the acceptance bound
- * is < 2%.
+ * is < 2%.  The always-on span tracing layer (src/obs/) is priced the
+ * same way and reported as "tracing_overhead_fraction", with the same
+ * < 2% acceptance bound (CI gates the committed baseline).
  *
  * The harness also prices the state-versioning layer the same way:
  * under --versioning=both (the default) the first protocol's run is
@@ -70,6 +74,8 @@
 #include "core/native_runtime.h"
 #include "core/versioned_state.h"
 #include "metrics/metrics.h"
+#include "obs/flight_recorder.h"
+#include "obs/span_recorder.h"
 #include "platform/machine.h"
 #include "platform/measured.h"
 #include "platform/trace_export.h"
@@ -196,6 +202,8 @@ main(int argc, char **argv)
     const std::string out_path =
         cli.getString("out", "BENCH_native_overheads.json");
     const std::string trace_path = cli.getString("trace", "");
+    const std::string span_trace_path = cli.getString("trace-out", "");
+    const std::string flight_dir = cli.getString("flight-dir", "");
     const bench::MetricsScope metrics_scope(opt);
 
     // --versioning=deep|cow pins every run in this process to one
@@ -346,6 +354,40 @@ main(int argc, char **argv)
             off_seconds > 0.0 ? on_seconds / off_seconds - 1.0 : 0.0;
     }
 
+    // Price the always-on span tracing (src/obs/) the same way:
+    // recording on vs off, interleaved, best of repeats, and the
+    // results must be bit-identical — spans only observe.
+    double tracing_on_seconds = std::numeric_limits<double>::infinity();
+    double tracing_off_seconds = std::numeric_limits<double>::infinity();
+    double tracing_overhead = 0.0;
+    bool tracing_identical = true;
+    {
+        const NativeRuntime probe_rt(threads, protocols.front());
+        for (int r = 0; r < repeats; ++r) {
+            obs::setEnabled(true);
+            const NativeRuntime::Result on_run =
+                probe_rt.run(model, config, opt.seed);
+            obs::setEnabled(false);
+            const NativeRuntime::Result off_run =
+                probe_rt.run(model, config, opt.seed);
+            tracing_on_seconds =
+                std::min(tracing_on_seconds, on_run.wallSeconds);
+            tracing_off_seconds =
+                std::min(tracing_off_seconds, off_run.wallSeconds);
+            tracing_identical =
+                tracing_identical && sameResult(on_run, off_run);
+        }
+        obs::setEnabled(true);
+        if (!tracing_identical) {
+            REPRO_LOG_WARN("span tracing changed the results — "
+                           "instrumentation bug");
+        }
+        tracing_overhead =
+            tracing_off_seconds > 0.0
+                ? tracing_on_seconds / tracing_off_seconds - 1.0
+                : 0.0;
+    }
+
     // A/B-price the state-versioning layer on the first protocol:
     // best-of-repeats timings per StateVersioning mode, recorded
     // replays for the §V-B state-copy / state-comparison busy-time
@@ -423,6 +465,21 @@ main(int argc, char **argv)
         platform::writeChromeTrace(modes.back().sched,
                                    modes.back().mt.graph, os);
     }
+    if (!span_trace_path.empty()) {
+        std::ofstream os(span_trace_path);
+        if (!os)
+            util::fatal("cannot write " + span_trace_path);
+        platform::writeSpansChromeTrace(
+            obs::SpanRecorder::global().snapshot(), os);
+    }
+    if (!flight_dir.empty()) {
+        obs::FlightRecorder::Options fopts;
+        fopts.dir = flight_dir;
+        obs::FlightRecorder flight(fopts);
+        const auto dump = flight.dump("manual");
+        if (dump)
+            std::cout << "flight dump: " << dump->path << "\n";
+    }
 
     std::vector<std::string> header{"Category"};
     for (const ModeReport &mode : modes)
@@ -486,6 +543,11 @@ main(int argc, char **argv)
                   << formatDouble(on_seconds * 1e3, 2) << " ms on vs "
                   << formatDouble(off_seconds * 1e3, 2) << " ms off)\n";
     }
+    std::cout << "tracing overhead: " << formatPercent(tracing_overhead)
+              << " (" << formatDouble(tracing_on_seconds * 1e3, 2)
+              << " ms on vs "
+              << formatDouble(tracing_off_seconds * 1e3, 2)
+              << " ms off)\n";
     if (!vmodes.empty()) {
         Table vt({"versioning", "stats ms", "state-copy s",
                   "state-compare s", "bytes copied", "blocks shared",
@@ -533,6 +595,14 @@ main(int argc, char **argv)
          << "  \"stats_seconds_metrics_off\": " << off_seconds << ",\n"
          << "  \"metrics_identical\": "
          << (metrics_identical ? "true" : "false") << ",\n"
+         << "  \"tracing_overhead_fraction\": " << tracing_overhead
+         << ",\n"
+         << "  \"stats_seconds_tracing_on\": " << tracing_on_seconds
+         << ",\n"
+         << "  \"stats_seconds_tracing_off\": " << tracing_off_seconds
+         << ",\n"
+         << "  \"tracing_identical\": "
+         << (tracing_identical ? "true" : "false") << ",\n"
          << "  \"modes\": {\n";
     for (std::size_t m = 0; m < modes.size(); ++m) {
         const ModeReport &mode = modes[m];

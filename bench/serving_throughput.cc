@@ -24,7 +24,23 @@
  *   --duration=<sec>    paced phase per series        (default 1.0)
  *   --chunk=<n>         inputs per chunk              (default 16)
  *   --budget-ms=<n>     per-session latency budget    (default 50)
+ *   --stats-k=<n>       per-session alt window K      (default 2)
+ *   --stats-r=<n>       per-session original states R (default 1)
  *   --out=<path>        also write the JSON to a file
+ *   --trace-out=<p>     dump the recorded obs spans as a Chrome trace
+ *   --flight-dir=<d>    write a manual flight-recorder dump into <d>
+ *
+ * --trace-out / --flight-dir snapshot the always-on tracing layer
+ * (src/obs/) after the sweep: the Chrome trace shows every serving
+ * span (submit -> queue wait -> chunk close -> process -> commit |
+ * abort -> callback), and the flight dump is a self-contained JSON
+ * document ("repro.flight.v1") bundling the span rings, the metrics
+ * snapshot, and the structured abort root-cause reports.  An
+ * abort-storm dump is produced by serving a mispeculation-prone
+ * workload with deliberately short chunks, e.g.
+ *   serving_throughput --workload=facetrack --scale=0.25 --chunk=4 \
+ *     --stats-r=2 --rate=2000 --duration=0.4 --sessions-max=2 \
+ *     --flight-dir=dumps
  *
  * Adaptive A/B (src/adapt feedback controller) under a shifting-traffic
  * schedule — each arm serves the same phase-shifted load (base rate for
@@ -65,6 +81,9 @@
 #include "bench/bench_common.h"
 #include "core/native_runtime.h"
 #include "metrics/metrics.h"
+#include "obs/flight_recorder.h"
+#include "obs/span_recorder.h"
+#include "platform/trace_export.h"
 #include "serving/serving_runtime.h"
 #include "util/cli.h"
 #include "util/log.h"
@@ -322,7 +341,13 @@ main(int argc, char **argv)
         static_cast<std::size_t>(cli.getInt("chunk", 16));
     const auto budget =
         std::chrono::milliseconds(cli.getInt("budget-ms", 50));
+    const unsigned stats_k =
+        static_cast<unsigned>(cli.getInt("stats-k", 2));
+    const unsigned stats_r =
+        static_cast<unsigned>(cli.getInt("stats-r", 1));
     const std::string out_path = cli.getString("out", "");
+    const std::string span_trace_path = cli.getString("trace-out", "");
+    const std::string flight_dir = cli.getString("flight-dir", "");
     const std::string adapt_mode = cli.getString("adapt", "off");
     REPRO_ASSERT(adapt_mode == "off" || adapt_mode == "on" ||
                      adapt_mode == "both",
@@ -368,6 +393,8 @@ main(int argc, char **argv)
             std::vector<SessionId> ids(sessions);
             for (unsigned i = 0; i < sessions; ++i) {
                 SessionConfig cfg;
+                cfg.stats.altWindowK = stats_k;
+                cfg.stats.numOriginalStates = stats_r;
                 cfg.seed = opt.seed + i;
                 cfg.chunkInputs = chunk_inputs;
                 cfg.queueCapacity = 4 * chunk_inputs;
@@ -455,6 +482,22 @@ main(int argc, char **argv)
         frozen_decisions = frozen.decisions.size();
     }
 
+    if (!span_trace_path.empty()) {
+        std::ofstream os(span_trace_path);
+        if (!os)
+            repro::util::fatal("cannot write " + span_trace_path);
+        repro::platform::writeSpansChromeTrace(
+            repro::obs::SpanRecorder::global().snapshot(), os);
+    }
+    if (!flight_dir.empty()) {
+        repro::obs::FlightRecorder::Options fopts;
+        fopts.dir = flight_dir;
+        repro::obs::FlightRecorder flight(fopts);
+        const auto dump = flight.dump("manual");
+        if (dump)
+            std::cerr << "flight dump: " << dump->path << "\n";
+    }
+
     std::ostringstream json;
     json << "{\n"
          << "  \"bench\": \"serving_throughput\",\n"
@@ -463,6 +506,8 @@ main(int argc, char **argv)
          << "  \"rate_per_session\": " << rate << ",\n"
          << "  \"inputs_per_session\": " << per_session << ",\n"
          << "  \"chunk_inputs\": " << chunk_inputs << ",\n"
+         << "  \"stats_k\": " << stats_k << ",\n"
+         << "  \"stats_r\": " << stats_r << ",\n"
          << "  \"latency_budget_ms\": " << budget.count() << ",\n"
          << "  \"host\": " << repro::bench::hostMetadataJson() << ",\n"
          << "  \"threads_exceed_cores\": "

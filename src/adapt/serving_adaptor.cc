@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/span_recorder.h"
+
 namespace repro::adapt {
 
 namespace {
@@ -64,12 +66,20 @@ ServingAdaptor::tick()
     const auto delta = metrics::snapshotDiff(prev_, cur);
     prev_ = std::move(cur);
 
-    const WindowObservation obs = foldServingWindow(
+    const WindowObservation window = foldServingWindow(
         delta, std::max(seconds, 0.0),
         static_cast<unsigned>(runtime_.activeSessions()));
-    auto decision = controller_.observe(obs);
-    if (decision && decision->applied)
-        runtime_.retuneAll(decision->to);
+    auto decision = controller_.observe(window);
+    if (decision) {
+        // The decision span's detail is the triggering metric window's
+        // id, tying the retune back to the delta that motivated it.
+        obs::Span span = obs::SpanRecorder::global().start(
+            obs::SpanKind::AdaptDecision, 0, 0, -1, -1, 0,
+            static_cast<std::int64_t>(decision->window));
+        if (decision->applied)
+            runtime_.retuneAll(decision->to);
+        obs::SpanRecorder::global().finish(span);
+    }
     return decision;
 }
 

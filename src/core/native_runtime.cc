@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <chrono>
 
+#include "core/versioned_state.h"
 #include "metrics/metrics.h"
+#include "obs/abort_report.h"
+#include "obs/span_recorder.h"
 #include "trace/measured_trace.h"
 #include "util/log.h"
 #include "util/task_graph_executor.h"
@@ -102,6 +105,34 @@ constexpr TaskId kNoTask = static_cast<TaskId>(-1);
  *  workers under the pipelined one. */
 constexpr ThreadId kMainThread = 0;
 
+/** Seconds a finished span covered (0 for unfinished/untraced). */
+double
+spanSeconds(const obs::Span &span)
+{
+    return span.endNs > span.startNs
+               ? static_cast<double>(span.endNs - span.startNs) * 1e-9
+               : 0.0;
+}
+
+/** Fills the block-level divergence fields of @p cmp from the two
+ *  states' payloads, when both are block-backed (legacy deep states
+ *  keep the -1 "unknown" defaults). */
+void
+fillPayloadDiff(const State &spec, const State &candidate,
+                obs::AbortComparison &cmp)
+{
+    const VersionedBuffer *a = spec.payload();
+    const VersionedBuffer *b = candidate.payload();
+    if (!a || !b)
+        return;
+    const VersionedBuffer::DiffReport d =
+        VersionedBuffer::diffReport(*a, *b);
+    if (!d.comparable)
+        return;
+    cmp.firstDiffBlock = d.firstDiffBlock;
+    cmp.bytesCompared = d.bytesCompared;
+}
+
 /** Per-chunk speculative products, filled by the parallel phase. */
 struct ChunkProducts
 {
@@ -109,6 +140,12 @@ struct ChunkProducts
     StateHandle finalState; //!< End state of the speculative body.
     StateHandle snapshot;   //!< State at end-K (c < C-1).
     std::vector<double> outputs; //!< Dense, indexed from chunk begin.
+
+    // Finished obs spans of the speculative execution, kept so an
+    // abort can attribute its wasted seconds (§V-B) to this chunk.
+    obs::Span altSpan;
+    obs::Span bodySpanA;
+    obs::Span bodySpanB;
 
     /** Carried between the two body spans (the snapshot splits the
      *  body; the RNG stream continues across the split). */
@@ -130,6 +167,7 @@ struct BoundaryProducts
 {
     std::vector<StateHandle> replicas;  //!< R-1 regenerated states.
     std::vector<TaskId> replicaTasks;   //!< Their OriginalStateGen ids.
+    std::vector<double> replicaSeconds; //!< Regeneration wall time.
 };
 
 /**
@@ -270,6 +308,7 @@ class RunImpl
         for (BoundaryProducts &bp : boundaries_) {
             bp.replicas.resize(R_ >= 1 ? R_ - 1 : 0);
             bp.replicaTasks.assign(bp.replicas.size(), kNoTask);
+            bp.replicaSeconds.assign(bp.replicas.size(), 0.0);
         }
         obs_.end(setupTask_);
     }
@@ -425,11 +464,18 @@ class RunImpl
             cp.altTask = obs_.begin(TaskKind::AltProducer, th,
                                     static_cast<std::int32_t>(c));
             obs_.dep(setupTask_, cp.altTask);
+            cp.altSpan = spans_.start(
+                obs::SpanKind::AltProducer, 0, 0,
+                static_cast<std::int64_t>(c),
+                static_cast<std::int64_t>(begin_[c]),
+                static_cast<std::uint32_t>(end_[c] - begin_[c]),
+                static_cast<std::int64_t>(K_));
             {
                 const metrics::ScopedTimer timer(ph_->altProducer);
                 runSpan(model_, *working, begin_[c] - K_, begin_[c],
                         alt_rng, nullptr, TaskKind::AltProducer);
             }
+            spans_.finish(cp.altSpan);
             obs_.end(cp.altTask);
             cp.specCopyTask = obs_.begin(TaskKind::StateCopy, th,
                                          static_cast<std::int32_t>(c));
@@ -446,11 +492,17 @@ class RunImpl
                               static_cast<std::int32_t>(c));
         if (c == 0)
             obs_.dep(setupTask_, cp.bodyA);
+        cp.bodySpanA = spans_.start(
+            obs::SpanKind::ChunkBody, cp.altSpan.id, 0,
+            static_cast<std::int64_t>(c),
+            static_cast<std::int64_t>(begin_[c]),
+            static_cast<std::uint32_t>(cp.snap - begin_[c]));
         {
             const metrics::ScopedTimer timer(ph_->chunkBody);
             runSpan(model_, *working, begin_[c], cp.snap, cp.bodyRng,
                     cp.outputs.data(), TaskKind::ChunkBody);
         }
+        spans_.finish(cp.bodySpanA);
         obs_.end(cp.bodyA);
         cp.bodyLast = cp.bodyA;
         if (needs_snapshot) {
@@ -473,12 +525,18 @@ class RunImpl
         ChunkProducts &cp = chunks_[c];
         cp.bodyB = obs_.begin(TaskKind::ChunkBody, th,
                               static_cast<std::int32_t>(c));
+        cp.bodySpanB = spans_.start(
+            obs::SpanKind::ChunkBody, cp.bodySpanA.id, 0,
+            static_cast<std::int64_t>(c),
+            static_cast<std::int64_t>(cp.snap),
+            static_cast<std::uint32_t>(end_[c] - cp.snap));
         {
             const metrics::ScopedTimer timer(ph_->chunkBody);
             runSpan(model_, *cp.working, cp.snap, end_[c], cp.bodyRng,
                     cp.outputs.data() + (cp.snap - begin_[c]),
                     TaskKind::ChunkBody);
         }
+        spans_.finish(cp.bodySpanB);
         obs_.end(cp.bodyB);
         cp.bodyLast = cp.bodyB;
         cp.finalState = std::move(cp.working);
@@ -515,6 +573,12 @@ class RunImpl
         const TaskId rep_task =
             obs_.begin(TaskKind::OriginalStateGen, rth,
                        static_cast<std::int32_t>(c));
+        obs::Span repSpan = spans_.start(
+            obs::SpanKind::ReplicaRegen, 0, 0,
+            static_cast<std::int64_t>(c),
+            static_cast<std::int64_t>(snap),
+            static_cast<std::uint32_t>(end_[c] - snap),
+            static_cast<std::int64_t>(rep));
         util::Rng rng = base_.split(3000 + c * 128 + rep);
         met_.replicaRegens.inc();
         {
@@ -522,9 +586,11 @@ class RunImpl
             runSpan(model_, *replica, snap, end_[c], rng, nullptr,
                     TaskKind::OriginalStateGen);
         }
+        spans_.finish(repSpan);
         obs_.end(rep_task);
         BoundaryProducts &bp = boundaries_[c];
         bp.replicaTasks[rep] = rep_task;
+        bp.replicaSeconds[rep] = spanSeconds(repSpan);
         bp.replicas[rep] = std::move(replica);
     }
 
@@ -580,6 +646,11 @@ class RunImpl
             std::copy(chunks_[0].outputs.begin(),
                       chunks_[0].outputs.end(),
                       result_.outputs.begin() + begin_[0]);
+            obs::Span commit0 = spans_.start(
+                obs::SpanKind::Commit, chunks_[0].bodySpanA.id, 0, 0,
+                static_cast<std::int64_t>(begin_[0]),
+                static_cast<std::uint32_t>(end_[0] - begin_[0]), -1);
+            spans_.finish(commit0);
         }
 
         BoundaryProducts &bp = boundaries_[c];
@@ -625,9 +696,23 @@ class RunImpl
             lastMainTask_ = cmp;
             return matched;
         };
+        obs::Span valSpan = spans_.start(
+            obs::SpanKind::Validation, nxt.bodySpanA.id, 0,
+            static_cast<std::int64_t>(c + 1),
+            static_cast<std::int64_t>(begin_[c + 1]),
+            static_cast<std::uint32_t>(end_[c + 1] - begin_[c + 1]));
         bool matched = compare(*committedFinal_, true);
-        for (unsigned rep = 0; !matched && rep + 1 < R_; ++rep)
+        const bool matched_first = matched;
+        std::int64_t matchedCandidate = matched ? -1 : -2;
+        std::int64_t candidatesCompared = 1;
+        for (unsigned rep = 0; !matched && rep + 1 < R_; ++rep) {
             matched = compare(*bp.replicas[rep], false);
+            ++candidatesCompared;
+            if (matched)
+                matchedCandidate = static_cast<std::int64_t>(rep);
+        }
+        valSpan.detail = candidatesCompared;
+        spans_.finish(valSpan);
 
         if (matched) {
             ++result_.commits;
@@ -640,8 +725,85 @@ class RunImpl
             committedSnapshot_ = nxt.snapshot.get();
             committedSnapshotTask_ = nxt.snapshotTask;
             committedSpeculative_ = true;
+            obs::Span commit = spans_.start(
+                obs::SpanKind::Commit, valSpan.id, 0,
+                static_cast<std::int64_t>(c + 1),
+                static_cast<std::int64_t>(begin_[c + 1]),
+                static_cast<std::uint32_t>(end_[c + 1] - begin_[c + 1]),
+                matchedCandidate);
+            spans_.finish(commit);
         } else {
+            obs::Span abortSpan = spans_.start(
+                obs::SpanKind::Abort, valSpan.id, 0,
+                static_cast<std::int64_t>(c + 1),
+                static_cast<std::int64_t>(begin_[c + 1]),
+                static_cast<std::uint32_t>(end_[c + 1] - begin_[c + 1]));
+            if (obs::enabled()) {
+                // Root-cause attribution while every candidate is
+                // still alive: where each comparison diverged, and
+                // what the abort cost in §V-B terms (the speculated
+                // body + alt-producer work is mispeculation; replicas
+                // and compares were extra computation either way).
+                obs::AbortReport report;
+                report.session = 0;
+                report.chunk = c + 1;
+                report.firstInput = begin_[c + 1];
+                report.inputCount = end_[c + 1] - begin_[c + 1];
+                report.spanId = abortSpan.id;
+                report.wastedBodySeconds = spanSeconds(nxt.bodySpanA) +
+                                           spanSeconds(nxt.bodySpanB);
+                report.wastedAltSeconds = spanSeconds(nxt.altSpan);
+                for (const double rs : bp.replicaSeconds)
+                    report.wastedReplicaSeconds += rs;
+                report.validateSeconds = spanSeconds(valSpan);
+                obs::AbortComparison first;
+                first.candidate = -1;
+                first.matched = matched_first;
+                fillPayloadDiff(*nxt.specState, *committedFinal_,
+                                first);
+                report.comparisons.push_back(first);
+                for (std::size_t rep = 0; rep < bp.replicas.size();
+                     ++rep) {
+                    obs::AbortComparison cmp;
+                    cmp.candidate = static_cast<int>(rep);
+                    cmp.matched = false;
+                    fillPayloadDiff(*nxt.specState, *bp.replicas[rep],
+                                    cmp);
+                    report.comparisons.push_back(cmp);
+                }
+                // Headline: the candidate the byte walk got furthest
+                // into before diverging; ties go to the later
+                // candidate so a replica is named over the committed
+                // final.
+                std::uint64_t best = 0;
+                bool haveBest = false;
+                for (const obs::AbortComparison &cmp :
+                     report.comparisons) {
+                    report.bytesCompared += cmp.bytesCompared;
+                    if (!haveBest || cmp.bytesCompared >= best) {
+                        best = cmp.bytesCompared;
+                        haveBest = true;
+                        report.mismatchCandidate = cmp.candidate;
+                        report.firstDiffBlock = cmp.firstDiffBlock;
+                    }
+                }
+                obs::AbortLog::global().record(std::move(report));
+            }
+            obs::Span reSpan = spans_.start(
+                obs::SpanKind::ReExec, abortSpan.id, 0,
+                static_cast<std::int64_t>(c + 1),
+                static_cast<std::int64_t>(begin_[c + 1]),
+                static_cast<std::uint32_t>(end_[c + 1] - begin_[c + 1]));
             reexecuteChunk(c);
+            spans_.finish(reSpan);
+            obs::Span commit = spans_.start(
+                obs::SpanKind::Commit, abortSpan.id, 0,
+                static_cast<std::int64_t>(c + 1),
+                static_cast<std::int64_t>(begin_[c + 1]),
+                static_cast<std::uint32_t>(end_[c + 1] - begin_[c + 1]),
+                -2);
+            spans_.finish(commit);
+            spans_.finish(abortSpan);
         }
 
         // The boundary is resolved; its replicas are dead weight now
@@ -726,6 +888,9 @@ class RunImpl
     util::ThreadPool &pool_;
     const ScopedPoolProfile poolProfile_;
     RuntimeCounters &met_;
+    /** Batch spans record as roots of session 0 (obs/span_recorder.h);
+     *  purely observational — never changes outputs. */
+    obs::SpanRecorder &spans_ = obs::SpanRecorder::global();
     const PhaseHists *ph_; //!< Switched to the pipelined set by
                            //!< runPipelined().
     const std::size_t stateBytes_;

@@ -294,6 +294,58 @@ VersionedBuffer::contentEquals(const VersionedBuffer &a,
     return equal;
 }
 
+VersionedBuffer::DiffReport
+VersionedBuffer::diffReport(const VersionedBuffer &a,
+                            const VersionedBuffer &b)
+{
+    DiffReport r;
+    if (a.bytes_ != b.bytes_)
+        return r;
+    r.comparable = true;
+    if (a.bytes_ == 0) {
+        r.equal = true;
+        return r;
+    }
+    if (a.blockBytes() != b.blockBytes()) {
+        // Mixed granularity: lockstep walk, first difference reported
+        // in a's block coordinates.
+        std::size_t pos = 0;
+        while (pos < a.bytes_) {
+            const std::size_t pa = a.blockBytes() - (pos & a.mask_);
+            const std::size_t pb = b.blockBytes() - (pos & b.mask_);
+            const std::size_t len = std::min({pa, pb, a.bytes_ - pos});
+            r.bytesCompared += len;
+            if (!util::blockops::wordsEqual(
+                    a.blockData(pos >> a.shift_) + (pos & a.mask_),
+                    b.blockData(pos >> b.shift_) + (pos & b.mask_),
+                    len)) {
+                r.firstDiffBlock =
+                    static_cast<std::int64_t>(pos >> a.shift_);
+                return r;
+            }
+            pos += len;
+        }
+        r.equal = true;
+        return r;
+    }
+    const std::size_t n = a.blocks_.size();
+    for (std::size_t bi = 0; bi < n; ++bi) {
+        if (a.blocks_[bi] == b.blocks_[bi]) {
+            ++r.blocksShared; // Identity proves equality, 0 bytes read.
+            continue;
+        }
+        const std::size_t used = a.usedBytes(bi);
+        r.bytesCompared += used;
+        if (!util::blockops::wordsEqual(a.blockData(bi), b.blockData(bi),
+                                        used)) {
+            r.firstDiffBlock = static_cast<std::int64_t>(bi);
+            return r;
+        }
+    }
+    r.equal = true;
+    return r;
+}
+
 std::uint64_t
 VersionedBuffer::contentHash() const
 {

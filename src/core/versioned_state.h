@@ -258,6 +258,30 @@ class VersionedBuffer
      *  block headers, so only dirty blocks re-hash. */
     std::uint64_t contentHash() const;
 
+    /** Where two payloads diverge (abort root-cause attribution). */
+    struct DiffReport
+    {
+        bool comparable = false; //!< Same logical size.
+        bool equal = false;
+        /** First block index (of @p a's block granularity) whose bytes
+         *  differ; -1 when equal or not comparable. */
+        std::int64_t firstDiffBlock = -1;
+        std::uint64_t bytesCompared = 0; //!< Bytes actually scanned.
+        std::uint64_t blocksShared = 0;  //!< Skipped by identity.
+    };
+
+    /**
+     * Diagnosis companion of contentEquals: walks the same
+     * shared-skip / byte-compare ladder but reports *where* the first
+     * difference lives instead of just the verdict, and — unlike
+     * contentEquals — ticks no state.validation_* counters and never
+     * consults cached fingerprints (a diagnosis wants the block
+     * actually scanned, and it must not perturb the counters the
+     * validation path is gated on in CI).
+     */
+    static DiffReport diffReport(const VersionedBuffer &a,
+                                 const VersionedBuffer &b);
+
     /** Blocks physically shared with @p other (tests/metrics). */
     std::size_t sharedBlocksWith(const VersionedBuffer &other) const;
 

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/json.h"
 #include "util/log.h"
 
 namespace repro::metrics {
@@ -48,14 +49,14 @@ toJson(const MetricsSnapshot &snap, const std::string &indent)
     os << "{\n" << in1 << "\"counters\": {";
     for (std::size_t i = 0; i < snap.counters.size(); ++i) {
         os << (i ? "," : "") << "\n"
-           << in2 << "\"" << snap.counters[i].first
+           << in2 << "\"" << util::jsonEscape(snap.counters[i].first)
            << "\": " << snap.counters[i].second;
     }
     os << (snap.counters.empty() ? "" : "\n" + in1) << "},\n"
        << in1 << "\"gauges\": {";
     for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
         os << (i ? "," : "") << "\n"
-           << in2 << "\"" << snap.gauges[i].first
+           << in2 << "\"" << util::jsonEscape(snap.gauges[i].first)
            << "\": " << snap.gauges[i].second;
     }
     os << (snap.gauges.empty() ? "" : "\n" + in1) << "},\n"
@@ -63,7 +64,8 @@ toJson(const MetricsSnapshot &snap, const std::string &indent)
     for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
         const auto &[name, h] = snap.histograms[i];
         os << (i ? "," : "") << "\n"
-           << in2 << "\"" << name << "\": {\"count\": " << h.count
+           << in2 << "\"" << util::jsonEscape(name)
+           << "\": {\"count\": " << h.count
            << ", \"sum_seconds\": " << jsonNumber(h.sumSeconds)
            << ", \"mean_seconds\": " << jsonNumber(h.meanSeconds())
            << ", \"p50_seconds\": "

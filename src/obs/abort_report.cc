@@ -1,0 +1,125 @@
+#include "obs/abort_report.h"
+
+#include <sstream>
+
+#include "metrics/metrics.h"
+
+namespace repro::obs {
+
+namespace {
+
+struct AbortInstruments
+{
+    metrics::Counter &reports;
+    metrics::Counter &bytesCompared;
+    metrics::Counter &unknownDiff;
+    metrics::LatencyHistogram &wastedSeconds;
+};
+
+AbortInstruments &
+abortInstruments()
+{
+    auto &reg = metrics::MetricsRegistry::global();
+    static AbortInstruments in{
+        reg.counter("obs.abort.reports"),
+        reg.counter("obs.abort.bytes_compared"),
+        reg.counter("obs.abort.unknown_first_diff"),
+        reg.histogram("obs.abort.wasted_seconds"),
+    };
+    return in;
+}
+
+std::string
+jsonDouble(double v)
+{
+    std::ostringstream os;
+    os.precision(9);
+    os << v;
+    const std::string s = os.str();
+    if (s.find_first_not_of("0123456789+-.eE") != std::string::npos)
+        return "0";
+    return s;
+}
+
+} // namespace
+
+AbortLog &
+AbortLog::global()
+{
+    static AbortLog *log = new AbortLog(); // Immortal, like the registry.
+    return *log;
+}
+
+void
+AbortLog::record(AbortReport report)
+{
+    AbortInstruments &in = abortInstruments();
+    in.reports.inc();
+    in.bytesCompared.inc(report.bytesCompared);
+    if (report.firstDiffBlock < 0)
+        in.unknownDiff.inc();
+    in.wastedSeconds.observe(report.wastedBodySeconds +
+                             report.wastedAltSeconds +
+                             report.wastedReplicaSeconds);
+    std::lock_guard<std::mutex> lock(mu_);
+    reports_.push_back(std::move(report));
+    while (reports_.size() > kCapacity)
+        reports_.pop_front();
+}
+
+std::vector<AbortReport>
+AbortLog::recent() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return {reports_.begin(), reports_.end()};
+}
+
+void
+AbortLog::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    reports_.clear();
+}
+
+std::string
+abortReportJson(const AbortReport &r, const std::string &indent)
+{
+    const std::string in1 = indent + "  ";
+    const std::string in2 = indent + "    ";
+    std::ostringstream os;
+    os << "{\n"
+       << in1 << "\"session\": " << r.session << ",\n"
+       << in1 << "\"chunk\": " << r.chunk << ",\n"
+       << in1 << "\"first_input\": " << r.firstInput << ",\n"
+       << in1 << "\"input_count\": " << r.inputCount << ",\n"
+       << in1 << "\"span_id\": " << r.spanId << ",\n"
+       << in1 << "\"mismatch_candidate\": " << r.mismatchCandidate
+       << ",\n"
+       << in1 << "\"first_diff_block\": " << r.firstDiffBlock << ",\n"
+       << in1 << "\"bytes_compared\": " << r.bytesCompared << ",\n"
+       << in1 << "\"wasted\": {\n"
+       << in2 << "\"body_seconds\": " << jsonDouble(r.wastedBodySeconds)
+       << ",\n"
+       << in2 << "\"alt_seconds\": " << jsonDouble(r.wastedAltSeconds)
+       << ",\n"
+       << in2
+       << "\"replica_seconds\": " << jsonDouble(r.wastedReplicaSeconds)
+       << ",\n"
+       << in2 << "\"validate_seconds\": " << jsonDouble(r.validateSeconds)
+       << "\n"
+       << in1 << "},\n"
+       << in1 << "\"comparisons\": [";
+    for (std::size_t i = 0; i < r.comparisons.size(); ++i) {
+        const AbortComparison &c = r.comparisons[i];
+        os << (i ? "," : "") << "\n"
+           << in2 << "{\"candidate\": " << c.candidate << ", \"matched\": "
+           << (c.matched ? "true" : "false")
+           << ", \"first_diff_block\": " << c.firstDiffBlock
+           << ", \"bytes_compared\": " << c.bytesCompared << "}";
+    }
+    os << (r.comparisons.empty() ? "" : "\n" + in1) << "]\n"
+       << indent << "}";
+    return os.str();
+}
+
+} // namespace repro::obs

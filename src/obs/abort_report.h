@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Structured root-cause attribution for aborts.
+ *
+ * When a boundary mispeculates, the aggregate counters only say "one
+ * more abort".  An AbortReport says *why*: which candidate states were
+ * compared (the committed final and each original-state replica),
+ * which one mismatched where (first differing block from the
+ * VersionedBuffer walk, bytes compared before the verdict), and how
+ * much speculative work the abort wasted, attributed to the paper's
+ * §V-B overhead categories — the mispeculated body/alt-producer time
+ * versus the extra-computation replica and validation time the chunk
+ * also paid.
+ *
+ * Reports are kept in one process-wide bounded log (aborts are rare;
+ * a small mutex-guarded ring is plenty) and surfaced three ways: the
+ * obs.abort.* metric family, flight-recorder dumps, and the Abort
+ * span that links the report into the causal chain.
+ */
+
+#ifndef REPRO_OBS_ABORT_REPORT_H
+#define REPRO_OBS_ABORT_REPORT_H
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace repro::obs {
+
+/** One candidate comparison of the commit check. */
+struct AbortComparison
+{
+    /** Candidate identity: -1 = committed final state, >= 0 = that
+     *  original-state replica. */
+    int candidate = -1;
+    bool matched = false;
+    /** First block index where the speculative entry state diverged
+     *  from this candidate; -1 when the states are not block-backed
+     *  (legacy deep states) and only the model verdict is known. */
+    std::int64_t firstDiffBlock = -1;
+    std::uint64_t bytesCompared = 0;
+};
+
+/** Root-cause record of one aborted boundary. */
+struct AbortReport
+{
+    std::uint64_t session = 0;    //!< 0 = batch run.
+    std::int64_t chunk = -1;      //!< Aborted chunk / boundary index.
+    std::int64_t firstInput = -1; //!< Stream index of chunk's inputs.
+    std::uint32_t inputCount = 0;
+    std::uint64_t spanId = 0;     //!< The Abort span, 0 = untraced.
+
+    /** Every candidate compared at the boundary, in check order. */
+    std::vector<AbortComparison> comparisons;
+
+    /** Headline: candidate whose comparison the check walked furthest
+     *  (-1 committed final), i.e. the named mismatching replica. */
+    int mismatchCandidate = -1;
+    std::int64_t firstDiffBlock = -1; //!< Of the headline candidate.
+    std::uint64_t bytesCompared = 0;  //!< Total across comparisons.
+
+    // Wasted speculative work, §V-B attribution (seconds).
+    double wastedBodySeconds = 0.0;    //!< Mispeculation: chunk body.
+    double wastedAltSeconds = 0.0;     //!< Mispeculation: alt producer.
+    double wastedReplicaSeconds = 0.0; //!< Extra computation: replicas.
+    double validateSeconds = 0.0;      //!< Extra computation: compares.
+};
+
+/** Bounded process-wide log of recent reports. */
+class AbortLog
+{
+  public:
+    static constexpr std::size_t kCapacity = 256;
+
+    static AbortLog &global();
+
+    /** Appends @p report (evicting the oldest past kCapacity) and
+     *  ticks the obs.abort.* instruments. */
+    void record(AbortReport report);
+
+    /** The retained reports, oldest first. */
+    std::vector<AbortReport> recent() const;
+
+    /** Drops every retained report (tests / bench isolation). */
+    void clear();
+
+  private:
+    AbortLog() = default;
+
+    mutable std::mutex mu_;
+    std::deque<AbortReport> reports_;
+};
+
+/** Renders @p report as a JSON object ("schema" documented in
+ *  DESIGN.md §17).  @p indent prefixes inner lines. */
+std::string abortReportJson(const AbortReport &report,
+                            const std::string &indent = "");
+
+} // namespace repro::obs
+
+#endif // REPRO_OBS_ABORT_REPORT_H

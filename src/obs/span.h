@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The span vocabulary of the tracing subsystem: fixed-size POD records
+ * describing one timed step of the serving / batch protocol, causally
+ * linked by parent ids.
+ *
+ * The aggregate metrics (metrics/metrics.h) answer "how much"; spans
+ * answer "which one".  Every span carries the session, chunk, and
+ * input-range identifiers of the work it timed plus the id of the
+ * span that caused it, so a single input's life — submit, queue wait,
+ * chunk closure, speculation, validation, commit or abort and
+ * re-execution, callback — is reconstructable from a flight-recorder
+ * dump after the fact.
+ *
+ * Spans are plain trivially-copyable structs: the recorder
+ * (obs/span_recorder.h) stores them in fixed per-thread rings with no
+ * allocation on the hot path.
+ */
+
+#ifndef REPRO_OBS_SPAN_H
+#define REPRO_OBS_SPAN_H
+
+#include <cstdint>
+
+namespace repro::obs {
+
+/** What a span timed.  Names mirror the protocol steps (and, where
+ *  one exists, the trace::TaskKind the step is charged to). */
+enum class SpanKind : std::uint8_t {
+    Submit,       //!< One input accepted into a session's queue.
+    QueueWait,    //!< Input's dwell between submit and chunk closure.
+    ChunkClose,   //!< Coordinator closed a chunk (size or deadline).
+    ChunkProcess, //!< Strand processing one closed chunk end to end.
+    AltProducer,  //!< Alternative-producer replay of K inputs.
+    ChunkBody,    //!< Speculative chunk body execution.
+    ReplicaRegen, //!< One original-state replica regeneration.
+    Validation,   //!< Commit check: spec entry vs committed/replicas.
+    Commit,       //!< Boundary resolved by a match.
+    Abort,        //!< Boundary mispeculated (no candidate matched).
+    ReExec,       //!< Sequential re-execution after an abort.
+    Callback,     //!< Result delivery to the session's callback.
+    AdaptDecision, //!< Feedback-controller decision for one window.
+    FlightDump,   //!< Flight-recorder dump written.
+    NumKinds
+};
+
+/** Stable lower-case name of @p kind ("queue_wait", "abort", ...). */
+const char *spanKindName(SpanKind kind);
+
+/** One recorded step.  Ids are process-unique and monotone; 0 is
+ *  "none" for both id (invalid span) and parent (root). */
+struct Span
+{
+    std::uint64_t id = 0;     //!< Process-unique, 0 = invalid slot.
+    std::uint64_t parent = 0; //!< Causing span, 0 = root.
+    std::uint64_t session = 0; //!< Serving session id, 0 = batch/none.
+    std::int64_t chunk = -1;   //!< Chunk / boundary index, -1 = n/a.
+    std::int64_t firstInput = -1; //!< Stream index of first input.
+    std::uint32_t inputCount = 0; //!< Inputs covered by the span.
+    std::uint32_t thread = 0;     //!< Recorder thread slot.
+    SpanKind kind = SpanKind::Submit;
+    std::uint64_t startNs = 0; //!< steady_clock nanos at start().
+    std::uint64_t endNs = 0;   //!< steady_clock nanos at finish().
+    /** Kind-specific payload: replica index for ReplicaRegen, matched
+     *  candidate for Commit (-1 committed final, >=0 replica), window
+     *  id for AdaptDecision, dump sequence for FlightDump; -1 = n/a. */
+    std::int64_t detail = -1;
+};
+
+} // namespace repro::obs
+
+#endif // REPRO_OBS_SPAN_H

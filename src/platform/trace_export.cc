@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "util/json.h"
 #include "util/log.h"
 #include "util/table.h"
 
@@ -47,12 +48,46 @@ writeChromeTrace(const Schedule &schedule, const trace::TaskGraph &graph,
         first = false;
         // Timestamps in microseconds-as-cycles (viewer units are
         // arbitrary); pid groups the machine, tid is the core row.
-        os << "\n  {\"name\":\"" << trace::taskKindName(task.kind)
+        os << "\n  {\"name\":\""
+           << util::jsonEscape(trace::taskKindName(task.kind))
            << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << ts.core
            << ",\"ts\":" << ts.start << ",\"dur\":"
            << ts.finish - ts.start << ",\"args\":{\"task\":" << task.id
            << ",\"thread\":" << task.thread
            << ",\"chunk\":" << task.chunk << "}}";
+    }
+    os << "\n]\n";
+}
+
+void
+writeSpansChromeTrace(const obs::SpanSnapshot &snapshot,
+                      std::ostream &os)
+{
+    // Rebase on the earliest start so the viewer opens at t=0.
+    std::uint64_t epoch = ~std::uint64_t{0};
+    for (const obs::Span &s : snapshot.spans)
+        epoch = std::min(epoch, s.startNs);
+    if (snapshot.spans.empty())
+        epoch = 0;
+    os << "[";
+    bool first = true;
+    for (const obs::Span &s : snapshot.spans) {
+        if (!first)
+            os << ",";
+        first = false;
+        const std::uint64_t start = s.startNs - epoch;
+        const std::uint64_t end = s.endNs > s.startNs ? s.endNs - epoch
+                                                      : start;
+        os << "\n  {\"name\":\""
+           << util::jsonEscape(obs::spanKindName(s.kind))
+           << "\",\"ph\":\"X\",\"pid\":" << s.session
+           << ",\"tid\":" << s.thread << ",\"ts\":" << start / 1000
+           << ",\"dur\":" << (end - start) / 1000
+           << ",\"args\":{\"span\":" << s.id << ",\"parent\":" << s.parent
+           << ",\"chunk\":" << s.chunk
+           << ",\"first_input\":" << s.firstInput
+           << ",\"input_count\":" << s.inputCount
+           << ",\"detail\":" << s.detail << "}}";
     }
     os << "\n]\n";
 }

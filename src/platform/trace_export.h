@@ -16,6 +16,7 @@
 #include <ostream>
 #include <string>
 
+#include "obs/span_recorder.h"
 #include "platform/schedule.h"
 #include "trace/task_graph.h"
 
@@ -43,6 +44,19 @@ std::string asciiTimeline(const Schedule &schedule,
 
 /** The single-character cell code of a task kind (see asciiTimeline). */
 char taskKindGlyph(trace::TaskKind kind);
+
+/**
+ * Downconverts a span snapshot (obs/span_recorder.h) to the same
+ * Chrome trace-event JSON the schedule exporter emits, so the tracing
+ * subsystem plugs into the existing chrome://tracing / Perfetto
+ * tooling: pid groups the session (0 = batch), tid is the recording
+ * thread, names are span kinds, and the causal ids (span/parent/
+ * chunk/input range) ride in args.  Timestamps are microseconds from
+ * the snapshot's earliest span.  Zero-duration spans are kept — a
+ * submit is instantaneous but anchors its input's chain.
+ */
+void writeSpansChromeTrace(const obs::SpanSnapshot &snapshot,
+                           std::ostream &os);
 
 } // namespace repro::platform
 

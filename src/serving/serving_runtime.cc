@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "metrics/metrics.h"
+#include "obs/span_recorder.h"
 #include "util/log.h"
 #include "util/spsc_ring.h"
 #include "util/thread_pool.h"
@@ -33,12 +34,37 @@ struct ServingMetrics
     metrics::Counter &chunksAborted;
     metrics::Counter &outputsDelivered;
     metrics::Counter &retunesApplied;
+    /** Highest queue depth (open chunk + ring) any closure observed
+     *  since the last registry reset; published set-to-max. */
+    metrics::Gauge &queueDepthHighwater;
     metrics::LatencyHistogram &e2eLatency;
     /** Unit: *inputs* pending for the session at chunk closure, not
      *  seconds — the power-of-two bucketing is what we want. */
     metrics::LatencyHistogram &queueDepth;
     metrics::LatencyHistogram &chunkProcess;
 };
+
+/** An input in flight between submit() and chunk closure: the
+ *  deadline-clock enqueue stamp (possibly a fake clock) plus the
+ *  trace identity — stream index, submit span, and the *real* clock
+ *  nanos the queue-wait span is timed with (span timestamps must stay
+ *  on one clock even when deadlines run on an injected one). */
+struct InputToken
+{
+    TimePoint stamp;
+    std::uint64_t index = 0;    //!< Stream index of the input.
+    std::uint64_t spanId = 0;   //!< Submit span (0 = untraced).
+    std::uint64_t submitNs = 0; //!< steady_clock nanos at submit.
+};
+
+std::uint64_t
+steadyNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now().time_since_epoch())
+            .count());
+}
 
 ServingMetrics &
 servingMetrics()
@@ -58,6 +84,7 @@ servingMetrics()
         reg.counter("serving.chunks_aborted"),
         reg.counter("serving.outputs_delivered"),
         reg.counter("serving.retunes_applied"),
+        reg.gauge("serving.queue_depth_highwater"),
         reg.histogram("serving.e2e_latency_seconds"),
         reg.histogram("serving.queue_depth"),
         reg.histogram("serving.chunk_process_seconds"),
@@ -108,12 +135,14 @@ struct Session
 
     // ---- Consumer side (coordinator / poll / drain, serialized by
     //      consumerMu) --------------------------------------------------
-    /** One closed-but-unprocessed chunk: the enqueue stamp of each of
-     *  its inputs (the strand turns stamps into e2e latencies). */
+    /** One closed-but-unprocessed chunk: the input tokens (enqueue
+     *  stamps the strand turns into e2e latencies, plus each input's
+     *  trace identity) and the closure's own span for causal links. */
     struct ClosedChunk
     {
-        std::vector<TimePoint> stamps;
+        std::vector<InputToken> tokens;
         bool deadline = false;
+        std::uint64_t closeSpan = 0; //!< ChunkClose span (0 untraced).
         /** STATS parameters this chunk was closed under; the strand
          *  reconfigures the pipeline to these before processing, so a
          *  knob swap can never land mid-chunk even with several closed
@@ -122,7 +151,7 @@ struct Session
     };
 
     std::mutex consumerMu;
-    std::vector<TimePoint> open;    //!< Enqueue stamps, oldest first.
+    std::vector<InputToken> open;   //!< Queued tokens, oldest first.
     std::deque<ClosedChunk> closed; //!< Closed, awaiting the strand.
     SessionTuning active;           //!< Knobs of the open chunk.
     SessionTuning pending;          //!< Requested knobs, if any.
@@ -138,7 +167,7 @@ struct Session
     std::atomic<std::uint64_t> commits{0};
     std::atomic<std::uint64_t> aborts{0};
     std::atomic<std::uint64_t> outputsDelivered{0};
-    util::SpscRing<TimePoint> ring;
+    util::SpscRing<InputToken> ring;
 
     // ---- Drain handshake -------------------------------------------
     std::mutex drainMu;
@@ -171,12 +200,27 @@ void
 drainRingLocked(Session &s,
                 const std::function<void(bool deadline, bool drain)> &close)
 {
-    TimePoint stamp;
-    while (s.ring.tryPop(stamp)) {
-        s.open.push_back(stamp);
+    InputToken token;
+    while (s.ring.tryPop(token)) {
+        s.open.push_back(token);
         if (s.open.size() >= s.active.chunkInputs)
             close(false, false);
     }
+}
+
+/** Publishes "deepest queue any closure has seen": set-to-max against
+ *  the gauge's own current value, so a registry resetAll starts a
+ *  fresh highwater epoch instead of leaving a stale offset. */
+void
+publishQueueHighwater(std::size_t depth)
+{
+    static std::mutex mu;
+    const std::lock_guard<std::mutex> lock(mu);
+    metrics::Gauge &g = servingMetrics().queueDepthHighwater;
+    const auto d = static_cast<std::int64_t>(depth);
+    const std::int64_t cur = g.value();
+    if (d > cur)
+        g.add(d - cur);
 }
 
 /** Moves the open chunk onto the closed queue.  Caller holds
@@ -185,16 +229,49 @@ void
 closeOpen(Session &s, bool deadline, bool drainClose)
 {
     auto &m = servingMetrics();
-    m.queueDepth.observe(
-        static_cast<double>(s.open.size() + s.ring.size()));
+    const std::size_t depth = s.open.size() + s.ring.size();
+    m.queueDepth.observe(static_cast<double>(depth));
+    publishQueueHighwater(depth);
     Session::ClosedChunk chunk;
-    chunk.stamps = std::move(s.open);
+    chunk.tokens = std::move(s.open);
     chunk.deadline = deadline;
     chunk.pipelineCfg.altWindowK = s.active.altWindowK;
     chunk.pipelineCfg.numOriginalStates = s.active.numOriginalStates;
     s.open.clear();
+    const std::uint64_t chunkIndex =
+        s.chunksClosed.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) {
+        // The closure is instantaneous but anchors the chunk's causal
+        // chain; each input also gets its queue-wait span, parented on
+        // its submit span and timed submit -> closure on the real
+        // clock.
+        auto &rec = obs::SpanRecorder::global();
+        const std::uint64_t nowRealNs = steadyNowNs();
+        obs::Span close = rec.start(
+            obs::SpanKind::ChunkClose, 0, s.id,
+            static_cast<std::int64_t>(chunkIndex),
+            static_cast<std::int64_t>(chunk.tokens.front().index),
+            static_cast<std::uint32_t>(chunk.tokens.size()),
+            deadline ? 1 : 0);
+        chunk.closeSpan = close.id;
+        for (const InputToken &token : chunk.tokens) {
+            obs::Span wait;
+            wait.id = rec.nextId();
+            wait.parent = token.spanId;
+            wait.session = s.id;
+            wait.chunk = static_cast<std::int64_t>(chunkIndex);
+            wait.firstInput = static_cast<std::int64_t>(token.index);
+            wait.inputCount = 1;
+            wait.kind = obs::SpanKind::QueueWait;
+            // submitNs == 0: tracing was off when this input was
+            // submitted — degrade to a zero-length span at closure.
+            wait.startNs = token.submitNs ? token.submitNs : nowRealNs;
+            wait.endNs = nowRealNs;
+            rec.record(wait);
+        }
+        rec.finish(close);
+    }
     s.closed.push_back(std::move(chunk));
-    s.chunksClosed.fetch_add(1, std::memory_order_relaxed);
     if (deadline) {
         s.deadlineClosures.fetch_add(1, std::memory_order_relaxed);
         m.deadlineClosures.inc();
@@ -254,11 +331,22 @@ strandLoop(const std::shared_ptr<Session> &s)
                 cur.numOriginalStates)
             s->pipeline.reconfigure(chunk.pipelineCfg);
 
+        auto &rec = obs::SpanRecorder::global();
+        obs::Span procSpan = rec.start(
+            obs::SpanKind::ChunkProcess, chunk.closeSpan, s->id,
+            static_cast<std::int64_t>(
+                s->chunksProcessed.load(std::memory_order_relaxed)),
+            chunk.tokens.empty()
+                ? -1
+                : static_cast<std::int64_t>(chunk.tokens.front().index),
+            static_cast<std::uint32_t>(chunk.tokens.size()));
+        s->pipeline.setTraceContext(s->id, procSpan.id);
         SessionPipeline::ChunkResult result;
         {
             const metrics::ScopedTimer timer(m.chunkProcess);
-            result = s->pipeline.processChunk(chunk.stamps.size());
+            result = s->pipeline.processChunk(chunk.tokens.size());
         }
+        rec.finish(procSpan);
         s->chunksProcessed.fetch_add(1, std::memory_order_relaxed);
         if (result.aborted) {
             s->aborts.fetch_add(1, std::memory_order_relaxed);
@@ -269,19 +357,26 @@ strandLoop(const std::shared_ptr<Session> &s)
         }
 
         if (s->cfg.onResult) {
+            obs::Span cbSpan = rec.start(
+                obs::SpanKind::Callback, procSpan.id, s->id,
+                static_cast<std::int64_t>(result.chunkIndex),
+                static_cast<std::int64_t>(result.firstInput),
+                static_cast<std::uint32_t>(result.outputs.size()));
             const ResultChunk delivery{s->id, result.chunkIndex,
                                        result.firstInput, result.aborted,
                                        chunk.deadline, result.outputs};
             s->cfg.onResult(delivery);
+            rec.finish(cbSpan);
         }
 
         const TimePoint done = s->now();
-        for (const TimePoint &stamp : chunk.stamps)
+        for (const InputToken &token : chunk.tokens)
             m.e2eLatency.observe(
-                std::chrono::duration<double>(done - stamp).count());
-        s->outputsDelivered.fetch_add(chunk.stamps.size(),
+                std::chrono::duration<double>(done - token.stamp)
+                    .count());
+        s->outputsDelivered.fetch_add(chunk.tokens.size(),
                                       std::memory_order_relaxed);
-        m.outputsDelivered.inc(chunk.stamps.size());
+        m.outputsDelivered.inc(chunk.tokens.size());
     }
 
     // Retire, wake any drainer, and re-arm if a closure raced in
@@ -394,11 +489,30 @@ ServingRuntime::submit(SessionId id)
     if (s->accepted.load(std::memory_order_relaxed) >= s->numInputs)
         return {SubmitStatus::Exhausted, s->ring.size()};
     auto &m = servingMetrics();
-    if (!s->ring.tryPush(s->now())) {
+    // accepted is only ever bumped by this function and submit() is
+    // single-producer per session, so the relaxed read *is* the next
+    // stream index.
+    const std::uint64_t index =
+        s->accepted.load(std::memory_order_relaxed);
+    InputToken token{s->now(), index, 0, 0};
+    obs::Span submitSpan;
+    if (obs::enabled()) {
+        submitSpan = obs::SpanRecorder::global().start(
+            obs::SpanKind::Submit, 0, s->id, -1,
+            static_cast<std::int64_t>(index), 1);
+        token.spanId = submitSpan.id;
+        token.submitNs = submitSpan.startNs;
+    }
+    if (!s->ring.tryPush(token)) {
+        // Rejected inputs never entered the stream; their span is
+        // dropped unrecorded so traced span counts stay a function of
+        // the accepted input sequence.
         s->rejected.fetch_add(1, std::memory_order_relaxed);
         m.inputsRejected.inc();
         return {SubmitStatus::Backpressure, s->ring.size()};
     }
+    if (submitSpan.id != 0)
+        obs::SpanRecorder::global().finish(submitSpan);
     s->accepted.fetch_add(1, std::memory_order_relaxed);
     m.inputsSubmitted.inc();
     return {SubmitStatus::Accepted, s->ring.size()};
@@ -512,7 +626,7 @@ ServingRuntime::pollSession(detail::Session &s, TimePoint nowStamp)
     const std::lock_guard<std::mutex> lock(s.consumerMu);
     drainRingLocked(s, [&](bool d, bool) { closeOpen(s, d, false); });
     if (s.cfg.latencyBudget.count() > 0 && !s.open.empty() &&
-        nowStamp - s.open.front() >= s.cfg.latencyBudget)
+        nowStamp - s.open.front().stamp >= s.cfg.latencyBudget)
         closeOpen(s, /*deadline=*/true, /*drainClose=*/false);
 }
 

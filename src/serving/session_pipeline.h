@@ -131,6 +131,20 @@ class SessionPipeline
     /** Chunks processed so far (== the next chunk's index). */
     unsigned chunksProcessed() const { return chunkIndex_; }
 
+    /**
+     * Trace identity the next processChunk() call records its spans
+     * under: the serving session id and the strand's chunk-process
+     * span (obs/span_recorder.h).  Zeroes (the default) mean "batch /
+     * untraced caller" — spans still record, as roots.  Purely
+     * observational: never changes outputs.
+     */
+    void
+    setTraceContext(std::uint64_t session, std::uint64_t parentSpan)
+    {
+        traceSession_ = session;
+        traceParent_ = parentSpan;
+    }
+
     /** Boundaries whose commit check accepted the speculation. */
     unsigned commits() const { return commits_; }
 
@@ -159,6 +173,8 @@ class SessionPipeline
     unsigned chunkIndex_ = 0;
     unsigned commits_ = 0;
     unsigned aborts_ = 0;
+    std::uint64_t traceSession_ = 0; //!< See setTraceContext().
+    std::uint64_t traceParent_ = 0;
 
     // Committed products of the most recently resolved chunk: the
     // final state feeds the next commit check (and abort re-execution),

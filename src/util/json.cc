@@ -21,6 +21,38 @@ parseError(const std::string &what, std::size_t at)
 
 } // namespace
 
+std::string
+jsonEscape(std::string_view s)
+{
+    static const char hex[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(s.size());
+    for (const char raw : s) {
+        const unsigned char c = static_cast<unsigned char>(raw);
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20 || c >= 0x7F) {
+                // Control chars must be escaped; bytes past ASCII are
+                // escaped too (Latin-1-as-bytes, matching the reader)
+                // so arbitrary byte strings stay valid JSON.
+                out += "\\u00";
+                out += hex[c >> 4];
+                out += hex[c & 0xF];
+            } else {
+                out += raw;
+            }
+        }
+    }
+    return out;
+}
+
 /** Recursive-descent parser over the whole document string. */
 class JsonParser
 {

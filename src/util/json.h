@@ -16,9 +16,21 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace repro::util {
+
+/**
+ * Escapes @p s for embedding between double quotes in a JSON string:
+ * quote and backslash get their two-character escapes, control
+ * characters (< 0x20) the conventional short forms or \u00XX, and
+ * bytes >= 0x7F are emitted as \u00XX in the same Latin-1-as-bytes
+ * convention the reader below decodes — so every byte string
+ * round-trips exactly through jsonEscape -> JsonValue::parse,
+ * whatever encoding the caller thought it had.
+ */
+std::string jsonEscape(std::string_view s);
 
 /**
  * One parsed JSON value.  Accessors assert the kind; use is*() or

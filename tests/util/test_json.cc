@@ -33,6 +33,38 @@ TEST(Json, ParsesStringEscapes)
     EXPECT_EQ(JsonValue::parse(R"("A")").asString(), "A");
 }
 
+TEST(JsonEscape, EscapesSpecialCharacters)
+{
+    using repro::util::jsonEscape;
+    EXPECT_EQ(jsonEscape("plain ascii"), "plain ascii");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(jsonEscape("\b\f\n\r\t"), "\\b\\f\\n\\r\\t");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x1f')), "\\u001f");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x7f')), "\\u007f");
+    EXPECT_EQ(jsonEscape(std::string(1, '\xff')), "\\u00ff");
+}
+
+TEST(JsonEscape, RoundTripsThroughParser)
+{
+    using repro::util::jsonEscape;
+    const std::string cases[] = {
+        std::string(),
+        std::string("plain"),
+        std::string("quote\" backslash\\ slash/ tab\t"),
+        std::string("nul\0byte", 8),
+        std::string("\b\f\n\r\t"),
+        std::string("\x01\x1f\x7f"),
+        std::string("high\xc3\xa9bytes\xff"),
+    };
+    for (const std::string &s : cases) {
+        const std::string wrapped = "\"" + jsonEscape(s) + "\"";
+        EXPECT_EQ(JsonValue::parse(wrapped).asString(), s)
+            << "escaped form: " << wrapped;
+    }
+}
+
 TEST(Json, ParsesNestedStructure)
 {
     const JsonValue v = JsonValue::parse(
